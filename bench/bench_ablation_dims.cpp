@@ -1,0 +1,82 @@
+// Ablation (DESIGN.md §6): Vivaldi dimensionality sweep (2-9 D). The paper
+// asserts TIV is incompatible with ANY metric space (§3.1); if the
+// embedding error and the neighbor-selection penalty were artifacts of too
+// few dimensions, they would vanish as dimensions grow. They do not.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/alert.hpp"
+#include "embedding/vivaldi.hpp"
+#include "neighbor/selection.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tiv;
+  using namespace tiv::bench;
+  const Flags flags(argc, argv);
+  const BenchConfig cfg = parse_config(flags, 500);
+  const auto runs = static_cast<std::uint32_t>(flags.get_int("runs", 3));
+  reject_unknown_flags(flags);
+
+  const auto space = make_space(delayspace::DatasetId::kDs2, cfg);
+  const auto n = space.measured.size();
+  neighbor::SelectionParams sp;
+  sp.num_candidates = std::max<std::uint32_t>(20, n / 20);
+  sp.runs = runs;
+  sp.seed = 77 ^ cfg.seed;
+  const neighbor::SelectionExperiment exp(space.measured, sp);
+
+  print_section(std::cout, "Vivaldi dimensionality ablation (DS2 data)");
+  Table table({"dim", "median abs err (ms)", "p90 abs err (ms)",
+               "median penalty %", "p90 penalty %",
+               "alert accuracy (worst 5%, t=0.5)"});
+  for (std::uint32_t dim : {2u, 3u, 5u, 7u, 9u}) {
+    embedding::VivaldiParams vp;
+    vp.dimension = dim;
+    vp.seed = 3 ^ cfg.seed;
+    embedding::VivaldiSystem sys(space.measured, vp);
+    sys.run(300);
+    const auto err = sys.snapshot_error(100000).absolute_error();
+    const Cdf penalties =
+        exp.run([&sys](delayspace::HostId a, delayspace::HostId b) {
+          return sys.predicted(a, b);
+        });
+    const auto ratio_samples =
+        core::collect_ratio_severity_samples(sys, 10000, 321 ^ cfg.seed);
+    const auto alert = core::evaluate_alert(ratio_samples, 0.05, 0.5);
+    table.add_row({std::to_string(dim), format_double(err.median, 1),
+                   format_double(err.p90, 1),
+                   format_double(penalties.quantile(0.5), 1),
+                   format_double(penalties.quantile(0.9), 1),
+                   format_double(alert.accuracy, 3)});
+  }
+  emit(table, cfg);
+  std::cout << "(expected: error plateaus — TIV residual is not a "
+               "dimensionality artifact; the alert works in every "
+               "dimension)\n";
+
+  // Height-vector variant (Dabek §2.6) at the paper's 5-D setting: heights
+  // absorb satellite access constants but cannot remove routing-induced
+  // TIVs either.
+  print_section(std::cout, "Height-vector Vivaldi ablation (5-D)");
+  Table ht({"variant", "median abs err (ms)", "p90 abs err (ms)",
+            "median penalty %"});
+  for (const bool use_height : {false, true}) {
+    embedding::VivaldiParams vp;
+    vp.dimension = 5;
+    vp.seed = 3 ^ cfg.seed;
+    vp.use_height = use_height;
+    embedding::VivaldiSystem sys(space.measured, vp);
+    sys.run(300);
+    const auto err = sys.snapshot_error(100000).absolute_error();
+    const Cdf penalties =
+        exp.run([&sys](delayspace::HostId a, delayspace::HostId b) {
+          return sys.predicted(a, b);
+        });
+    ht.add_row({use_height ? "with heights" : "plain Euclidean",
+                format_double(err.median, 1), format_double(err.p90, 1),
+                format_double(penalties.quantile(0.5), 1)});
+  }
+  emit(ht, cfg);
+  return 0;
+}

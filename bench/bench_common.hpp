@@ -1,0 +1,129 @@
+// Shared scaffolding for the figure-regeneration benches.
+//
+// Every bench accepts:
+//   --hosts=N   host count for the main dataset (default: bench-specific
+//               reduced scale; the TIV analysis is O(N^3))
+//   --full      run at the paper's full dataset sizes instead
+//   --seed=S    xor-ed into the generator seeds
+//   --csv       print tables as CSV instead of aligned text
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "delayspace/datasets.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace tiv::bench {
+
+struct BenchConfig {
+  std::uint32_t hosts = 0;  ///< 0 = dataset full size
+  std::uint64_t seed = 0;
+  bool csv = false;
+};
+
+/// Parses the standard flags. default_hosts is the reduced scale used when
+/// neither --hosts nor --full is given.
+inline BenchConfig parse_config(const Flags& flags,
+                                std::uint32_t default_hosts) {
+  BenchConfig c;
+  const bool full = flags.get_bool("full", false);
+  c.hosts = static_cast<std::uint32_t>(
+      flags.get_int("hosts", full ? 0 : default_hosts));
+  c.seed = static_cast<std::uint64_t>(flags.get_int("seed", 0));
+  c.csv = flags.get_bool("csv", false);
+  return c;
+}
+
+/// Generates a dataset preset at the configured scale.
+inline delayspace::DelaySpace make_space(delayspace::DatasetId id,
+                                         const BenchConfig& c) {
+  auto params = delayspace::dataset_params(id, c.hosts);
+  params.topology.seed ^= c.seed;
+  params.hosts.seed ^= c.seed;
+  return delayspace::generate_delay_space(params);
+}
+
+inline void emit(const Table& table, const BenchConfig& c) {
+  if (c.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+/// Prints several named CDFs as one table: rows are cumulative-fraction
+/// levels, cells are the value at that quantile per series. This is the
+/// transposed form of the paper's CDF plots (readable as "the q-th
+/// percentile penalty of scheme X is ...").
+inline void print_cdfs_by_quantile(const std::string& title,
+                                   const std::vector<std::string>& names,
+                                   const std::vector<Cdf>& cdfs,
+                                   const BenchConfig& c) {
+  print_section(std::cout, title);
+  std::vector<std::string> header{"quantile"};
+  header.insert(header.end(), names.begin(), names.end());
+  Table table(header);
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.00}) {
+    std::vector<std::string> row{format_double(q, 2)};
+    for (const Cdf& cdf : cdfs) {
+      row.push_back(cdf.empty() ? "-" : format_double(cdf.quantile(q), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  emit(table, c);
+}
+
+/// Prints several named CDFs sampled on a fixed x grid: rows are x values,
+/// cells are F(x) — the same orientation as the paper's figures.
+inline void print_cdfs_on_grid(const std::string& title,
+                               const std::vector<std::string>& names,
+                               const std::vector<Cdf>& cdfs,
+                               const std::vector<double>& grid,
+                               const BenchConfig& c, int x_precision = 2) {
+  print_section(std::cout, title);
+  std::vector<std::string> header{"x"};
+  header.insert(header.end(), names.begin(), names.end());
+  Table table(header);
+  for (double x : grid) {
+    std::vector<std::string> row{format_double(x, x_precision)};
+    for (const Cdf& cdf : cdfs) {
+      row.push_back(format_double(cdf.fraction_at_most(x), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  emit(table, c);
+}
+
+/// Prints a binned error-bar series (the paper's Figs. 4-8, 11, 13, 19).
+inline void print_bins(const std::string& title, const std::vector<Bin>& bins,
+                       const BenchConfig& c, int x_precision = 1) {
+  print_section(std::cout, title);
+  Table table({"x", "p10", "median", "p90", "mean", "count"});
+  for (const Bin& b : bins) {
+    table.add_row({format_double(b.x_center, x_precision),
+                   format_double(b.p10, 3),
+                   format_double(b.median, 3), format_double(b.p90, 3),
+                   format_double(b.mean, 3), std::to_string(b.count)});
+  }
+  emit(table, c);
+}
+
+/// Log-spaced grid (the paper's percentage-penalty CDFs use a log x axis
+/// from 10^0 to 10^4).
+inline std::vector<double> log_grid(double lo, double hi,
+                                    std::size_t points_per_decade = 2) {
+  std::vector<double> grid;
+  for (double x = lo; x <= hi * 1.0001;
+       x *= std::pow(10.0, 1.0 / static_cast<double>(points_per_decade))) {
+    grid.push_back(x);
+  }
+  return grid;
+}
+
+}  // namespace tiv::bench

@@ -1,0 +1,46 @@
+// Figures 4-7: TIV severity vs edge delay (10 ms bins; 10th/median/90th
+// percentiles), one series per dataset. Paper shape: longer edges cause
+// more severe violations overall, but the relation is irregular (non-
+// monotone humps, huge within-bin spread) — severity cannot be predicted
+// from length.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/severity.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tiv;
+  using namespace tiv::bench;
+  const Flags flags(argc, argv);
+  const BenchConfig cfg = parse_config(flags, 500);
+  const auto samples =
+      static_cast<std::size_t>(flags.get_int("edge-samples", 20000));
+  const double bin_ms = flags.get_double("bin-ms", 10.0);
+  reject_unknown_flags(flags);
+
+  struct FigureRef {
+    delayspace::DatasetId id;
+    const char* figure;
+  };
+  const FigureRef figures[] = {
+      {delayspace::DatasetId::kDs2, "Figure 4 (DS2)"},
+      {delayspace::DatasetId::kP2psim, "Figure 5 (p2psim)"},
+      {delayspace::DatasetId::kMeridian, "Figure 6 (Meridian)"},
+      {delayspace::DatasetId::kPlanetLab, "Figure 7 (PlanetLab)"},
+  };
+  for (const auto& [id, figure] : figures) {
+    BenchConfig c = cfg;
+    if (id == delayspace::DatasetId::kPlanetLab) c.hosts = 0;
+    const auto space = make_space(id, c);
+    const core::TivAnalyzer analyzer(space.measured);
+    const auto sampled = analyzer.sampled_severities(samples, 11 ^ cfg.seed);
+    BinnedSeries series(0.0, 1000.0, bin_ms);
+    for (const auto& [edge, sev] : sampled) {
+      series.add(space.measured.at(edge.first, edge.second), sev);
+    }
+    print_bins(std::string(figure) + ": TIV severity vs edge delay",
+               series.bins(), cfg);
+  }
+  return 0;
+}

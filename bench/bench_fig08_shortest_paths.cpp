@@ -1,0 +1,46 @@
+// Figure 8 (DS^2): top — fraction of edges whose endpoints share a major
+// cluster vs edge delay; bottom — distribution of *overlay shortest path*
+// lengths vs direct edge delay. Paper shape: edges beyond ~200 ms are
+// mostly cross-cluster; between ~300-550 ms the shortest alternative path
+// stays flat (many alternatives -> severe TIVs), then jumps for the longest
+// edges (even the best path is long -> no severe TIVs possible).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "delayspace/clustering.hpp"
+#include "delayspace/overlay.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tiv;
+  using namespace tiv::bench;
+  const Flags flags(argc, argv);
+  const BenchConfig cfg = parse_config(flags, 600);
+  const double bin_ms = flags.get_double("bin-ms", 25.0);
+  reject_unknown_flags(flags);
+
+  const auto space = make_space(delayspace::DatasetId::kDs2, cfg);
+  const auto& m = space.measured;
+  const auto clustering = delayspace::cluster_delay_space(m, {});
+  std::cout << "hosts: " << m.size() << ", clusters: "
+            << clustering.num_clusters() << "\n";
+  std::cout << "computing all-pairs overlay shortest paths (O(N^3))...\n";
+  const delayspace::OverlayPaths overlay(m);
+
+  BinnedSeries within(0.0, 1000.0, bin_ms);
+  BinnedSeries shortest(0.0, 1000.0, bin_ms);
+  for (delayspace::HostId i = 0; i < m.size(); ++i) {
+    for (delayspace::HostId j = i + 1; j < m.size(); ++j) {
+      if (!m.has(i, j)) continue;
+      const double d = m.at(i, j);
+      within.add(d, clustering.same_cluster(i, j) ? 1.0 : 0.0);
+      shortest.add(d, overlay.delay(i, j));
+    }
+  }
+  print_bins("Figure 8 (top): fraction of within-cluster edges vs delay",
+             within.bins(), cfg);
+  print_bins(
+      "Figure 8 (bottom): overlay shortest-path length (ms) vs edge delay",
+      shortest.bins(), cfg);
+  return 0;
+}

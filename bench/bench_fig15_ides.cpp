@@ -1,0 +1,59 @@
+// Figure 15: neighbor-selection penalty CDF of IDES (matrix-factorization
+// coordinates) vs original Vivaldi, DS^2. Paper shape: IDES — despite being
+// able to represent TIVs — is WORSE than Vivaldi at neighbor selection.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "embedding/vivaldi.hpp"
+#include "matfact/ides.hpp"
+#include "neighbor/selection.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tiv;
+  using namespace tiv::bench;
+  const Flags flags(argc, argv);
+  const BenchConfig cfg = parse_config(flags, 800);
+  const auto candidates = static_cast<std::uint32_t>(
+      flags.get_int("candidates", 0));
+  const auto runs = static_cast<std::uint32_t>(flags.get_int("runs", 5));
+  reject_unknown_flags(flags);
+
+  const auto space = make_space(delayspace::DatasetId::kDs2, cfg);
+  const auto n = space.measured.size();
+
+  embedding::VivaldiParams vp;
+  vp.seed = 3 ^ cfg.seed;
+  embedding::VivaldiSystem vivaldi(space.measured, vp);
+  vivaldi.run(100);
+
+  matfact::IdesParams ip;
+  ip.seed = 23 ^ cfg.seed;
+  const matfact::Ides ides(space.measured, ip);
+
+  neighbor::SelectionParams sp;
+  sp.num_candidates =
+      candidates != 0 ? candidates : std::max<std::uint32_t>(20, n / 20);
+  sp.runs = runs;
+  sp.seed = 77 ^ cfg.seed;
+  const neighbor::SelectionExperiment exp(space.measured, sp);
+  std::cout << "hosts: " << n << ", candidates: " << sp.num_candidates
+            << ", runs: " << runs << "\n";
+
+  const Cdf cdf_ides = exp.run([&ides](delayspace::HostId a,
+                                       delayspace::HostId b) {
+    return ides.predicted(a, b);
+  });
+  const Cdf cdf_vivaldi = exp.run(
+      [&vivaldi](delayspace::HostId a, delayspace::HostId b) {
+        return vivaldi.predicted(a, b);
+      });
+
+  print_cdfs_on_grid("Figure 15: neighbor selection, IDES vs Vivaldi",
+                     {"IDES", "Vivaldi-original"}, {cdf_ides, cdf_vivaldi},
+                     log_grid(1.0, 10000.0), cfg, 0);
+  print_cdfs_by_quantile("Figure 15 (quantile view)",
+                         {"IDES", "Vivaldi-original"},
+                         {cdf_ides, cdf_vivaldi}, cfg);
+  return 0;
+}

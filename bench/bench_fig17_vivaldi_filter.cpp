@@ -1,0 +1,67 @@
+// Figure 17: the naive strawman — remove the globally worst 20% of edges by
+// TIV severity from Vivaldi's neighbor selection. Paper shape: only a
+// marginal improvement; TIV is too widespread for outlier removal to fix
+// the embedding.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/severity.hpp"
+#include "core/severity_filter.hpp"
+#include "embedding/vivaldi.hpp"
+#include "neighbor/selection.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tiv;
+  using namespace tiv::bench;
+  const Flags flags(argc, argv);
+  const BenchConfig cfg = parse_config(flags, 700);
+  const double worst = flags.get_double("worst-fraction", 0.2);
+  const auto runs = static_cast<std::uint32_t>(flags.get_int("runs", 5));
+  reject_unknown_flags(flags);
+
+  const auto space = make_space(delayspace::DatasetId::kDs2, cfg);
+  const auto n = space.measured.size();
+  std::cout << "computing all-edge severities (global knowledge) for " << n
+            << " hosts...\n";
+  const core::SeverityMatrix sev =
+      core::TivAnalyzer(space.measured).all_severities();
+  const core::SeverityFilter filter(space.measured, sev, worst);
+  std::cout << "filtered " << filter.filtered_count()
+            << " edges (severity >= "
+            << format_double(filter.cutoff_severity(), 3) << ")\n";
+
+  embedding::VivaldiParams vp;
+  vp.seed = 3 ^ cfg.seed;
+  embedding::VivaldiSystem original(space.measured, vp);
+  original.run(100);
+
+  embedding::VivaldiSystem filtered(space.measured, vp);
+  core::apply_filter_to_vivaldi(filtered, filter, 31 ^ cfg.seed);
+  filtered.run(100);
+
+  neighbor::SelectionParams sp;
+  sp.num_candidates = std::max<std::uint32_t>(20, n / 20);
+  sp.runs = runs;
+  sp.seed = 77 ^ cfg.seed;
+  const neighbor::SelectionExperiment exp(space.measured, sp);
+
+  const Cdf cdf_orig =
+      exp.run([&](delayspace::HostId a, delayspace::HostId b) {
+        return original.predicted(a, b);
+      });
+  const Cdf cdf_filt =
+      exp.run([&](delayspace::HostId a, delayspace::HostId b) {
+        return filtered.predicted(a, b);
+      });
+
+  print_cdfs_on_grid(
+      "Figure 17: Vivaldi with global TIV-severity filter (worst " +
+          format_double(100 * worst, 0) + "% edges removed)",
+      {"Vivaldi-original", "Vivaldi-TIV-severity-filter"},
+      {cdf_orig, cdf_filt}, log_grid(1.0, 10000.0), cfg, 0);
+  print_cdfs_by_quantile("Figure 17 (quantile view)",
+                         {"Vivaldi-original", "Vivaldi-TIV-severity-filter"},
+                         {cdf_orig, cdf_filt}, cfg);
+  return 0;
+}

@@ -1,0 +1,119 @@
+// google-benchmark microbenchmarks for the core computational kernels:
+// severity analysis, Vivaldi ticks, Meridian queries, policy routing, and
+// overlay shortest paths.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/severity.hpp"
+#include "delayspace/generate.hpp"
+#include "delayspace/overlay.hpp"
+#include "embedding/vivaldi.hpp"
+#include "meridian/meridian.hpp"
+#include "routing/policy_routing.hpp"
+#include "topology/generator.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace tiv;
+
+const delayspace::DelaySpace& space_of_size(std::uint32_t hosts) {
+  static std::map<std::uint32_t, delayspace::DelaySpace> cache;
+  auto it = cache.find(hosts);
+  if (it == cache.end()) {
+    delayspace::DelaySpaceParams p;
+    p.topology.num_ases = std::max<std::uint32_t>(60, hosts / 8);
+    p.topology.seed = 11;
+    p.hosts.num_hosts = hosts;
+    p.hosts.seed = 12;
+    it = cache.emplace(hosts, delayspace::generate_delay_space(p)).first;
+  }
+  return it->second;
+}
+
+void BM_EdgeSeverity(benchmark::State& state) {
+  const auto& space = space_of_size(static_cast<std::uint32_t>(state.range(0)));
+  const core::TivAnalyzer analyzer(space.measured);
+  delayspace::HostId i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.edge_severity(i, i + 1));
+    i = (i + 2) % (space.measured.size() - 1);
+  }
+  state.SetItemsProcessed(state.iterations() * space.measured.size());
+}
+BENCHMARK(BM_EdgeSeverity)->Arg(200)->Arg(400)->Arg(800);
+
+void BM_AllSeverities(benchmark::State& state) {
+  const auto& space = space_of_size(static_cast<std::uint32_t>(state.range(0)));
+  const core::TivAnalyzer analyzer(space.measured);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.all_severities());
+  }
+  const auto n = static_cast<std::int64_t>(space.measured.size());
+  state.SetItemsProcessed(state.iterations() * n * n * n / 2);
+}
+BENCHMARK(BM_AllSeverities)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_VivaldiTick(benchmark::State& state) {
+  const auto& space = space_of_size(static_cast<std::uint32_t>(state.range(0)));
+  embedding::VivaldiParams p;
+  embedding::VivaldiSystem sys(space.measured, p);
+  for (auto _ : state) {
+    sys.tick();
+  }
+  state.SetItemsProcessed(state.iterations() * space.measured.size());
+}
+BENCHMARK(BM_VivaldiTick)->Arg(400)->Arg(800);
+
+void BM_MeridianQuery(benchmark::State& state) {
+  const auto& space = space_of_size(static_cast<std::uint32_t>(state.range(0)));
+  const auto n = space.measured.size();
+  std::vector<delayspace::HostId> nodes(n / 2);
+  std::iota(nodes.begin(), nodes.end(), 0);
+  const meridian::MeridianOverlay overlay(space.measured, nodes, {});
+  delayspace::HostId target = n / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        overlay.find_closest(target, nodes[target % nodes.size()]));
+    target = n / 2 + (target + 1) % (n - n / 2);
+  }
+}
+BENCHMARK(BM_MeridianQuery)->Arg(400)->Arg(800);
+
+void BM_PolicyRouting(benchmark::State& state) {
+  topology::TopologyParams p;
+  p.num_ases = static_cast<std::uint32_t>(state.range(0));
+  p.seed = 1;
+  const auto graph = topology::generate_topology(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::PolicyRoutingMatrix(graph));
+  }
+  state.SetItemsProcessed(state.iterations() * p.num_ases * p.num_ases);
+}
+BENCHMARK(BM_PolicyRouting)->Arg(100)->Arg(300)->Unit(benchmark::kMillisecond);
+
+void BM_OverlayPaths(benchmark::State& state) {
+  const auto& space = space_of_size(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(delayspace::OverlayPaths(space.measured));
+  }
+}
+BENCHMARK(BM_OverlayPaths)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateDelaySpace(benchmark::State& state) {
+  delayspace::DelaySpaceParams p;
+  p.hosts.num_hosts = static_cast<std::uint32_t>(state.range(0));
+  p.topology.num_ases = std::max<std::uint32_t>(60, p.hosts.num_hosts / 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(delayspace::generate_delay_space(p));
+  }
+}
+BENCHMARK(BM_GenerateDelaySpace)
+    ->Arg(200)
+    ->Arg(600)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+#include "core/alert.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace tiv::core {
+
+TivAlert::TivAlert(std::function<double(HostId, HostId)> ratio_fn,
+                   double threshold)
+    : ratio_fn_(std::move(ratio_fn)), threshold_(threshold) {}
+
+TivAlert::TivAlert(const embedding::VivaldiSystem& system, double threshold)
+    : ratio_fn_([&system](HostId a, HostId b) {
+        return system.prediction_ratio(a, b);
+      }),
+      threshold_(threshold) {}
+
+bool TivAlert::alerted(HostId a, HostId b) const {
+  const double r = ratio_fn_(a, b);
+  return !std::isnan(r) && r < threshold_;
+}
+
+std::vector<EdgeRatioSample> collect_ratio_severity_samples(
+    const embedding::VivaldiSystem& system, std::size_t count,
+    std::uint64_t seed) {
+  const auto& matrix = system.matrix();
+  const auto n = matrix.size();
+  Rng rng(seed);
+  std::vector<EdgeRatioSample> samples;
+  samples.reserve(count);
+  std::size_t attempts = 0;
+  while (samples.size() < count && attempts < count * 30) {
+    ++attempts;
+    auto a = static_cast<HostId>(rng.uniform_index(n));
+    auto b = static_cast<HostId>(rng.uniform_index(n));
+    if (a == b || !matrix.has(a, b)) continue;
+    if (a > b) std::swap(a, b);
+    EdgeRatioSample s;
+    s.a = a;
+    s.b = b;
+    s.ratio = system.prediction_ratio(a, b);
+    samples.push_back(s);
+  }
+  const TivAnalyzer analyzer(matrix);
+  parallel_for(samples.size(), [&](std::size_t i) {
+    samples[i].severity = analyzer.edge_severity(samples[i].a, samples[i].b);
+  });
+  return samples;
+}
+
+AlertMetrics evaluate_alert(const std::vector<EdgeRatioSample>& samples,
+                            double worst_fraction, double threshold) {
+  AlertMetrics m;
+  m.threshold = threshold;
+  m.worst_fraction = worst_fraction;
+  if (samples.empty() || worst_fraction <= 0.0) return m;
+
+  // Severity cut-off for membership in the worst set.
+  std::vector<double> severities;
+  severities.reserve(samples.size());
+  for (const auto& s : samples) severities.push_back(s.severity);
+  const auto worst_count = std::min<std::size_t>(
+      samples.size(),
+      static_cast<std::size_t>(
+          std::ceil(worst_fraction * static_cast<double>(samples.size()))));
+  std::nth_element(severities.begin(),
+                   severities.end() - static_cast<std::ptrdiff_t>(worst_count),
+                   severities.end());
+  const double cutoff = severities[severities.size() - worst_count];
+
+  std::size_t alerted = 0;
+  std::size_t alerted_and_worst = 0;
+  std::size_t worst = 0;
+  for (const auto& s : samples) {
+    const bool is_alert = !std::isnan(s.ratio) && s.ratio < threshold;
+    const bool is_worst = s.severity >= cutoff;
+    alerted += is_alert;
+    worst += is_worst;
+    alerted_and_worst += is_alert && is_worst;
+  }
+  m.alerts = alerted;
+  m.alert_fraction =
+      static_cast<double>(alerted) / static_cast<double>(samples.size());
+  m.accuracy = alerted == 0 ? 0.0
+                            : static_cast<double>(alerted_and_worst) /
+                                  static_cast<double>(alerted);
+  m.recall = worst == 0 ? 0.0
+                        : static_cast<double>(alerted_and_worst) /
+                              static_cast<double>(worst);
+  return m;
+}
+
+}  // namespace tiv::core

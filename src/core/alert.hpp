@@ -1,0 +1,80 @@
+// The TIV alert mechanism (paper §5) — the core contribution.
+//
+// When a delay space containing TIVs is embedded into a metric space, the
+// optimizer sacrifices the edges that disagree with many short alternative
+// paths: edges causing severe TIVs end up *shrunk* (predicted much smaller
+// than measured). The prediction ratio
+//
+//   ratio(A, B) = predicted_delay(A, B) / measured_delay(A, B)
+//
+// is therefore a cheap, measurement-free TIV-severity alarm: ratio below a
+// threshold ts flags a likely severe-TIV edge. The alert does not *predict*
+// severity — Fig. 19 shows the per-bin spread is huge — it identifies edges
+// that are highly probable to be severe, with an accuracy/recall trade-off
+// controlled by the threshold (Figs. 20-21).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/severity.hpp"
+#include "embedding/vivaldi.hpp"
+
+namespace tiv::core {
+
+/// The alert itself: flags edges whose prediction ratio is below the
+/// threshold.
+class TivAlert {
+ public:
+  /// ratio_fn must return predicted/measured (NaN allowed for unmeasured
+  /// pairs — never alerted).
+  TivAlert(std::function<double(HostId, HostId)> ratio_fn,
+           double threshold = 0.6);
+
+  /// Alert from a Vivaldi system's current coordinates.
+  explicit TivAlert(const embedding::VivaldiSystem& system,
+                    double threshold = 0.6);
+
+  double threshold() const { return threshold_; }
+  double ratio(HostId a, HostId b) const { return ratio_fn_(a, b); }
+
+  /// True when the edge is flagged as likely severe-TIV.
+  bool alerted(HostId a, HostId b) const;
+
+ private:
+  std::function<double(HostId, HostId)> ratio_fn_;
+  double threshold_;
+};
+
+/// One evaluated (ratio, severity) edge sample.
+struct EdgeRatioSample {
+  HostId a = 0;
+  HostId b = 0;
+  double ratio = 0.0;
+  double severity = 0.0;
+};
+
+/// Collects (prediction ratio, severity) for `count` random measured edges
+/// of the system's matrix (severity computed exactly, O(count * N)).
+std::vector<EdgeRatioSample> collect_ratio_severity_samples(
+    const embedding::VivaldiSystem& system, std::size_t count,
+    std::uint64_t seed = 321);
+
+/// Accuracy/recall of thresholded alerts against the ground-truth "worst
+/// fraction" severity set.
+struct AlertMetrics {
+  double threshold = 0.0;
+  double worst_fraction = 0.0;
+  std::size_t alerts = 0;        ///< edges with ratio < threshold
+  double alert_fraction = 0.0;   ///< alerts / samples
+  double accuracy = 0.0;  ///< alerted edges that are in the worst set
+  double recall = 0.0;    ///< worst-set edges that are alerted
+};
+
+/// Evaluates one (threshold, worst_fraction) point over the samples. The
+/// worst set is the ceil(worst_fraction * n) samples of highest severity.
+AlertMetrics evaluate_alert(const std::vector<EdgeRatioSample>& samples,
+                            double worst_fraction, double threshold);
+
+}  // namespace tiv::core

@@ -1,0 +1,125 @@
+#include "core/cluster_analysis.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace tiv::core {
+
+using delayspace::Clustering;
+using delayspace::HostId;
+
+ClusterTivStats cluster_tiv_stats(const DelayMatrix& matrix,
+                                  const SeverityMatrix& sev,
+                                  const Clustering& clustering,
+                                  std::size_t sample_edges,
+                                  std::uint64_t seed) {
+  const HostId n = matrix.size();
+  std::vector<std::pair<HostId, HostId>> edges;
+  if (sample_edges == 0) {
+    for (HostId i = 0; i < n; ++i) {
+      for (HostId j = i + 1; j < n; ++j) {
+        if (matrix.has(i, j)) edges.emplace_back(i, j);
+      }
+    }
+  } else {
+    Rng rng(seed);
+    std::size_t attempts = 0;
+    while (edges.size() < sample_edges && attempts < sample_edges * 30) {
+      ++attempts;
+      auto i = static_cast<HostId>(rng.uniform_index(n));
+      auto j = static_cast<HostId>(rng.uniform_index(n));
+      if (i == j || !matrix.has(i, j)) continue;
+      if (i > j) std::swap(i, j);
+      edges.emplace_back(i, j);
+    }
+  }
+
+  const TivAnalyzer analyzer(matrix);
+  std::vector<std::size_t> counts(edges.size());
+  parallel_for(edges.size(), [&](std::size_t e) {
+    counts[e] =
+        analyzer.edge_stats(edges[e].first, edges[e].second).violation_count;
+  });
+
+  ClusterTivStats out;
+  double viol_within = 0.0;
+  double viol_cross = 0.0;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto [i, j] = edges[e];
+    const double s = sev.at(i, j);
+    if (clustering.same_cluster(i, j)) {
+      ++out.edges_within;
+      viol_within += static_cast<double>(counts[e]);
+      out.mean_severity_within += s;
+    } else {
+      ++out.edges_cross;
+      viol_cross += static_cast<double>(counts[e]);
+      out.mean_severity_cross += s;
+    }
+  }
+  if (out.edges_within > 0) {
+    out.mean_violations_within =
+        viol_within / static_cast<double>(out.edges_within);
+    out.mean_severity_within /= static_cast<double>(out.edges_within);
+  }
+  if (out.edges_cross > 0) {
+    out.mean_violations_cross =
+        viol_cross / static_cast<double>(out.edges_cross);
+    out.mean_severity_cross /= static_cast<double>(out.edges_cross);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> severity_cluster_grid(
+    const DelayMatrix& matrix, const SeverityMatrix& sev,
+    const Clustering& clustering, std::size_t grid_size) {
+  const std::vector<HostId> order = clustering.grouped_order();
+  const std::size_t n = order.size();
+  grid_size = std::min(grid_size, n);
+  std::vector<std::vector<double>> grid(grid_size,
+                                        std::vector<double>(grid_size, 0.0));
+  std::vector<std::vector<std::size_t>> counts(
+      grid_size, std::vector<std::size_t>(grid_size, 0));
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t gr = r * grid_size / n;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (r == c) continue;
+      const std::size_t gc = c * grid_size / n;
+      // Missing entries are drawn black (severity 0), as in the paper.
+      const double s =
+          matrix.has(order[r], order[c]) ? sev.at(order[r], order[c]) : 0.0;
+      grid[gr][gc] += s;
+      ++counts[gr][gc];
+    }
+  }
+  for (std::size_t r = 0; r < grid_size; ++r) {
+    for (std::size_t c = 0; c < grid_size; ++c) {
+      if (counts[r][c] > 0) grid[r][c] /= static_cast<double>(counts[r][c]);
+    }
+  }
+  return grid;
+}
+
+void print_severity_grid(std::ostream& os,
+                         const std::vector<std::vector<double>>& grid) {
+  // ASCII luminance ramp, dark -> bright.
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr std::size_t kLevels = sizeof(kRamp) - 2;
+  double max_v = 0.0;
+  for (const auto& row : grid) {
+    for (double v : row) max_v = std::max(max_v, v);
+  }
+  for (const auto& row : grid) {
+    for (double v : row) {
+      const auto level =
+          max_v > 0.0 ? static_cast<std::size_t>(v / max_v * kLevels) : 0;
+      os << kRamp[std::min(level, kLevels)];
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace tiv::core

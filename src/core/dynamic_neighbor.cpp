@@ -1,0 +1,61 @@
+#include "core/dynamic_neighbor.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace tiv::core {
+
+using delayspace::HostId;
+
+DynamicNeighborVivaldi::DynamicNeighborVivaldi(
+    const delayspace::DelayMatrix& matrix,
+    const embedding::VivaldiParams& vivaldi_params,
+    const DynamicNeighborParams& params)
+    : system_(matrix, vivaldi_params),
+      params_(params),
+      rng_(params.seed) {
+  system_.run(params_.period_seconds);
+}
+
+void DynamicNeighborVivaldi::run_iteration() {
+  const auto n = static_cast<HostId>(system_.size());
+  const auto& matrix = system_.matrix();
+  const std::uint32_t keep = system_.params().neighbors_per_node;
+
+  for (HostId i = 0; i < n; ++i) {
+    // Union of current neighbors and a fresh random sample of equal size.
+    std::set<HostId> candidates(system_.neighbors(i).begin(),
+                                system_.neighbors(i).end());
+    std::size_t attempts = 0;
+    const std::size_t target = candidates.size() + keep;
+    while (candidates.size() < target && attempts < std::size_t{20} * keep) {
+      ++attempts;
+      const auto j = static_cast<HostId>(rng_.uniform_index(n));
+      if (j != i && matrix.has(i, j)) candidates.insert(j);
+    }
+
+    // Rank by prediction ratio, descending: small ratio = shrunk edge =
+    // likely severe TIV = dropped first.
+    std::vector<HostId> ranked(candidates.begin(), candidates.end());
+    std::sort(ranked.begin(), ranked.end(), [&](HostId a, HostId b) {
+      return system_.prediction_ratio(i, a) > system_.prediction_ratio(i, b);
+    });
+    if (ranked.size() > keep) ranked.resize(keep);
+    system_.set_neighbors(i, std::move(ranked));
+  }
+  system_.run(params_.period_seconds);
+  ++iterations_;
+}
+
+std::vector<std::pair<HostId, HostId>>
+DynamicNeighborVivaldi::neighbor_edges() const {
+  std::set<std::pair<HostId, HostId>> edges;
+  for (HostId i = 0; i < system_.size(); ++i) {
+    for (HostId j : system_.neighbors(i)) {
+      edges.emplace(std::min(i, j), std::max(i, j));
+    }
+  }
+  return {edges.begin(), edges.end()};
+}
+
+}  // namespace tiv::core

@@ -1,0 +1,80 @@
+#include "core/proximity.hpp"
+
+#include <cmath>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace tiv::core {
+
+HostId nearest_neighbor(const DelayMatrix& matrix, HostId node,
+                        HostId exclude, double min_delay_ms) {
+  const auto row = matrix.row(node);
+  const auto floor = static_cast<float>(min_delay_ms);
+  HostId best = node;
+  float best_d = std::numeric_limits<float>::infinity();
+  for (HostId j = 0; j < matrix.size(); ++j) {
+    if (j == node || j == exclude) continue;
+    const float d = row[j];
+    if (d >= floor && d < best_d) {
+      best_d = d;
+      best = j;
+    }
+  }
+  return best;
+}
+
+ProximityResult proximity_experiment(const DelayMatrix& matrix,
+                                     const ProximityParams& params) {
+  const HostId n = matrix.size();
+  Rng rng(params.seed);
+
+  struct Sample {
+    HostId a, b;        // the edge
+    HostId an, bn;      // nearest-pair edge
+    HostId ra, rb;      // random-pair edge
+    bool valid = false;
+  };
+  std::vector<Sample> samples;
+  samples.reserve(params.sample_edges);
+  std::size_t attempts = 0;
+  while (samples.size() < params.sample_edges &&
+         attempts < params.sample_edges * 30) {
+    ++attempts;
+    Sample s;
+    s.a = static_cast<HostId>(rng.uniform_index(n));
+    s.b = static_cast<HostId>(rng.uniform_index(n));
+    if (s.a == s.b || !matrix.has(s.a, s.b)) continue;
+    // Nearest-pair edge: nearest neighbors of both endpoints (excluding the
+    // other endpoint so AnBn is a distinct edge from AB).
+    s.an = nearest_neighbor(matrix, s.a, s.b, params.min_neighbor_delay_ms);
+    s.bn = nearest_neighbor(matrix, s.b, s.a, params.min_neighbor_delay_ms);
+    if (s.an == s.a || s.bn == s.b || s.an == s.bn ||
+        !matrix.has(s.an, s.bn)) {
+      continue;
+    }
+    // Random-pair edge.
+    s.ra = static_cast<HostId>(rng.uniform_index(n));
+    s.rb = static_cast<HostId>(rng.uniform_index(n));
+    if (s.ra == s.rb || !matrix.has(s.ra, s.rb)) continue;
+    s.valid = true;
+    samples.push_back(s);
+  }
+
+  const TivAnalyzer analyzer(matrix);
+  std::vector<double> near_diff(samples.size());
+  std::vector<double> rand_diff(samples.size());
+  parallel_for(samples.size(), [&](std::size_t i) {
+    const Sample& s = samples[i];
+    const double sev = analyzer.edge_severity(s.a, s.b);
+    near_diff[i] = std::abs(sev - analyzer.edge_severity(s.an, s.bn));
+    rand_diff[i] = std::abs(sev - analyzer.edge_severity(s.ra, s.rb));
+  });
+
+  ProximityResult out;
+  out.nearest_pair_diffs = std::move(near_diff);
+  out.random_pair_diffs = std::move(rand_diff);
+  return out;
+}
+
+}  // namespace tiv::core

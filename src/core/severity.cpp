@@ -1,0 +1,182 @@
+#include "core/severity.hpp"
+
+#include <algorithm>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace tiv::core {
+
+std::vector<double> SeverityMatrix::values_for_measured_edges(
+    const DelayMatrix& matrix) const {
+  std::vector<double> out;
+  for (HostId i = 0; i < n_; ++i) {
+    for (HostId j = i + 1; j < n_; ++j) {
+      if (matrix.has(i, j)) out.push_back(at(i, j));
+    }
+  }
+  return out;
+}
+
+EdgeTivStats TivAnalyzer::edge_stats(HostId a, HostId c) const {
+  EdgeTivStats stats;
+  if (!matrix_.has(a, c)) return stats;
+  const float d_ac = matrix_.at(a, c);
+  const auto row_a = matrix_.row(a);
+  const auto row_c = matrix_.row(c);
+  const HostId n = matrix_.size();
+  double ratio_sum = 0.0;
+  for (HostId b = 0; b < n; ++b) {
+    if (b == a || b == c) continue;
+    const float d_ab = row_a[b];
+    const float d_bc = row_c[b];
+    if (d_ab < 0.0f || d_bc < 0.0f) continue;  // missing leg
+    ++stats.witness_count;
+    const float detour = d_ab + d_bc;
+    if (detour < d_ac && detour > 0.0f) {
+      const double ratio = static_cast<double>(d_ac) / detour;
+      ++stats.violation_count;
+      ratio_sum += ratio;
+      stats.max_ratio = std::max(stats.max_ratio, ratio);
+    }
+  }
+  // Normalization is by |S| (all nodes), per the paper's definition — not by
+  // the witness count — so edges in sparse neighborhoods are not inflated.
+  stats.severity = ratio_sum / static_cast<double>(n);
+  stats.mean_ratio = stats.violation_count == 0
+                         ? 0.0
+                         : ratio_sum / static_cast<double>(
+                                           stats.violation_count);
+  return stats;
+}
+
+double TivAnalyzer::edge_severity(HostId a, HostId c) const {
+  return edge_stats(a, c).severity;
+}
+
+std::vector<double> TivAnalyzer::violation_ratios(HostId a, HostId c) const {
+  std::vector<double> out;
+  if (!matrix_.has(a, c)) return out;
+  const float d_ac = matrix_.at(a, c);
+  const auto row_a = matrix_.row(a);
+  const auto row_c = matrix_.row(c);
+  for (HostId b = 0; b < matrix_.size(); ++b) {
+    if (b == a || b == c) continue;
+    const float d_ab = row_a[b];
+    const float d_bc = row_c[b];
+    if (d_ab < 0.0f || d_bc < 0.0f) continue;
+    const float detour = d_ab + d_bc;
+    if (detour < d_ac && detour > 0.0f) {
+      out.push_back(static_cast<double>(d_ac) / detour);
+    }
+  }
+  return out;
+}
+
+SeverityMatrix TivAnalyzer::all_severities() const {
+  const HostId n = matrix_.size();
+  SeverityMatrix sev(n);
+  const auto nd = static_cast<double>(n);
+  // Parallel over the first endpoint; each task owns rows i and writes only
+  // the (i, j>i) strip, then we mirror. The inner witness scan reads two
+  // matrix rows sequentially — contiguous and branch-light.
+  parallel_for(n, [&](std::size_t ai) {
+    const auto a = static_cast<HostId>(ai);
+    const auto row_a = matrix_.row(a);
+    for (HostId c = a + 1; c < n; ++c) {
+      const float d_ac = row_a[c];
+      if (d_ac < 0.0f) continue;  // missing edge -> severity 0
+      const auto row_c = matrix_.row(c);
+      double ratio_sum = 0.0;
+      for (HostId b = 0; b < n; ++b) {
+        const float d_ab = row_a[b];
+        const float d_bc = row_c[b];
+        // b == a or b == c gives detour == d_ac, never < d_ac; missing legs
+        // are negative and excluded by the detour > 0 check only when both
+        // are missing, so test them explicitly.
+        if (d_ab < 0.0f || d_bc < 0.0f) continue;
+        const float detour = d_ab + d_bc;
+        if (detour < d_ac && detour > 0.0f) {
+          ratio_sum += static_cast<double>(d_ac) / detour;
+        }
+      }
+      sev.set(a, c, static_cast<float>(ratio_sum / nd));
+    }
+  });
+  return sev;
+}
+
+std::vector<std::pair<std::pair<HostId, HostId>, double>>
+TivAnalyzer::sampled_severities(std::size_t count, std::uint64_t seed) const {
+  const HostId n = matrix_.size();
+  Rng rng(seed);
+  std::vector<std::pair<HostId, HostId>> edges;
+  edges.reserve(count);
+  std::size_t attempts = 0;
+  while (edges.size() < count && attempts < count * 30) {
+    ++attempts;
+    auto i = static_cast<HostId>(rng.uniform_index(n));
+    auto j = static_cast<HostId>(rng.uniform_index(n));
+    if (i == j || !matrix_.has(i, j)) continue;
+    if (i > j) std::swap(i, j);
+    edges.emplace_back(i, j);
+  }
+  std::vector<std::pair<std::pair<HostId, HostId>, double>> out(edges.size());
+  parallel_for(edges.size(), [&](std::size_t e) {
+    out[e] = {edges[e], edge_severity(edges[e].first, edges[e].second)};
+  });
+  return out;
+}
+
+double TivAnalyzer::violating_triangle_fraction(std::size_t sample_triangles,
+                                                std::uint64_t seed) const {
+  const HostId n = matrix_.size();
+  auto violates = [&](HostId a, HostId b, HostId c) {
+    const float ab = matrix_.at(a, b);
+    const float bc = matrix_.at(b, c);
+    const float ac = matrix_.at(a, c);
+    if (ab < 0.0f || bc < 0.0f || ac < 0.0f) return -1;  // unmeasurable
+    return (ab + bc < ac || ab + ac < bc || bc + ac < ab) ? 1 : 0;
+  };
+  if (sample_triangles == 0) {
+    // Exact count, parallel over the first vertex.
+    std::vector<std::size_t> violating(n, 0);
+    std::vector<std::size_t> total(n, 0);
+    parallel_for(n, [&](std::size_t ai) {
+      const auto a = static_cast<HostId>(ai);
+      for (HostId b = a + 1; b < n; ++b) {
+        for (HostId c = b + 1; c < n; ++c) {
+          const int v = violates(a, b, c);
+          if (v < 0) continue;
+          ++total[a];
+          violating[a] += v;
+        }
+      }
+    });
+    std::size_t v = 0;
+    std::size_t t = 0;
+    for (HostId a = 0; a < n; ++a) {
+      v += violating[a];
+      t += total[a];
+    }
+    return t == 0 ? 0.0 : static_cast<double>(v) / static_cast<double>(t);
+  }
+  Rng rng(seed);
+  std::size_t v = 0;
+  std::size_t t = 0;
+  std::size_t attempts = 0;
+  while (t < sample_triangles && attempts < sample_triangles * 30) {
+    ++attempts;
+    const auto a = static_cast<HostId>(rng.uniform_index(n));
+    const auto b = static_cast<HostId>(rng.uniform_index(n));
+    const auto c = static_cast<HostId>(rng.uniform_index(n));
+    if (a == b || b == c || a == c) continue;
+    const int r = violates(a, b, c);
+    if (r < 0) continue;
+    ++t;
+    v += r;
+  }
+  return t == 0 ? 0.0 : static_cast<double>(v) / static_cast<double>(t);
+}
+
+}  // namespace tiv::core

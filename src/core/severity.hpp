@@ -1,0 +1,106 @@
+// The paper's TIV severity metric (§2.1) and its bulk computation.
+//
+// Edge AC causes a triangle inequality violation with witness B when
+// d(A,B) + d(B,C) < d(A,C). The severity of edge AC is
+//
+//   sev(A,C) = (1/|S|) * sum over violating witnesses B of
+//              d(A,C) / (d(A,B) + d(B,C))
+//
+// i.e. the sum of triangulation ratios of all violations the edge causes,
+// normalized by the node-set size. It is 0 for a violation-free edge and
+// grows both with the number of violations and with how badly each one
+// violates — the two properties §2.1 shows neither the violation count nor
+// the mean ratio captures alone.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "delayspace/delay_matrix.hpp"
+
+namespace tiv::core {
+
+using delayspace::DelayMatrix;
+using delayspace::HostId;
+
+/// Per-edge violation statistics.
+struct EdgeTivStats {
+  double severity = 0.0;
+  std::size_t violation_count = 0;   ///< witnesses B with a violation
+  std::size_t witness_count = 0;     ///< witnesses with both legs measured
+  double mean_ratio = 0.0;           ///< mean triangulation ratio (0 if none)
+  double max_ratio = 0.0;
+
+  /// Fraction of measurable triangles through this edge that violate.
+  double violating_fraction() const {
+    return witness_count == 0
+               ? 0.0
+               : static_cast<double>(violation_count) /
+                     static_cast<double>(witness_count);
+  }
+};
+
+/// Dense symmetric matrix of severities (float; same layout rationale as
+/// DelayMatrix).
+class SeverityMatrix {
+ public:
+  SeverityMatrix() = default;
+  explicit SeverityMatrix(HostId n)
+      : n_(n), data_(static_cast<std::size_t>(n) * n, 0.0f) {}
+
+  HostId size() const { return n_; }
+  float at(HostId i, HostId j) const {
+    return data_[static_cast<std::size_t>(i) * n_ + j];
+  }
+  void set(HostId i, HostId j, float v) {
+    data_[static_cast<std::size_t>(i) * n_ + j] = v;
+    data_[static_cast<std::size_t>(j) * n_ + i] = v;
+  }
+
+  /// Severities of all measured edges of `matrix` (unordered pairs).
+  std::vector<double> values_for_measured_edges(
+      const DelayMatrix& matrix) const;
+
+ private:
+  HostId n_ = 0;
+  std::vector<float> data_;
+};
+
+/// TIV analysis over one delay matrix.
+class TivAnalyzer {
+ public:
+  explicit TivAnalyzer(const DelayMatrix& matrix) : matrix_(matrix) {}
+  /// Deleted: the analyzer keeps a reference; a temporary would dangle.
+  explicit TivAnalyzer(DelayMatrix&&) = delete;
+
+  /// Severity of one edge; O(N). Returns 0 for unmeasured edges.
+  double edge_severity(HostId a, HostId c) const;
+
+  /// Full per-edge statistics; O(N).
+  EdgeTivStats edge_stats(HostId a, HostId c) const;
+
+  /// Triangulation ratios of all violations caused by the edge (the Fig. 1
+  /// distribution), unsorted.
+  std::vector<double> violation_ratios(HostId a, HostId c) const;
+
+  /// All-edges severity matrix; O(N^3), parallelized over rows.
+  SeverityMatrix all_severities() const;
+
+  /// Severities of `count` random measured edges — enough for CDFs at a
+  /// fraction of the all-edges cost. Returns (edge, severity) pairs.
+  std::vector<std::pair<std::pair<HostId, HostId>, double>> sampled_severities(
+      std::size_t count, std::uint64_t seed = 1234) const;
+
+  /// Fraction of triangles (all three edges measured) that contain at least
+  /// one violation — the paper's "around 12% of them violate triangle
+  /// inequality" figure for DS^2. Exact over all triangles when
+  /// sample_triangles == 0, otherwise Monte Carlo.
+  double violating_triangle_fraction(std::size_t sample_triangles = 0,
+                                     std::uint64_t seed = 4321) const;
+
+ private:
+  const DelayMatrix& matrix_;
+};
+
+}  // namespace tiv::core

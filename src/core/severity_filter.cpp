@@ -1,0 +1,70 @@
+#include "core/severity_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace tiv::core {
+
+SeverityFilter::SeverityFilter(const DelayMatrix& matrix,
+                               const SeverityMatrix& severities,
+                               double worst_fraction)
+    : severities_(&severities) {
+  std::vector<double> values = severities.values_for_measured_edges(matrix);
+  if (values.empty() || worst_fraction <= 0.0) {
+    cutoff_ = std::numeric_limits<double>::infinity();
+    return;
+  }
+  const auto worst_count = std::min<std::size_t>(
+      values.size(),
+      static_cast<std::size_t>(
+          std::ceil(worst_fraction * static_cast<double>(values.size()))));
+  std::nth_element(values.begin(),
+                   values.end() - static_cast<std::ptrdiff_t>(worst_count),
+                   values.end());
+  cutoff_ = values[values.size() - worst_count];
+  // An all-zero severity tail would make the cutoff 0 and filter *every*
+  // edge; a zero cutoff means there is nothing worth filtering.
+  if (cutoff_ <= 0.0) {
+    cutoff_ = std::numeric_limits<double>::infinity();
+    return;
+  }
+  for (const double v : severities.values_for_measured_edges(matrix)) {
+    filtered_count_ += v >= cutoff_;
+  }
+}
+
+bool SeverityFilter::filtered(HostId a, HostId b) const {
+  return severities_->at(a, b) >= cutoff_;
+}
+
+void apply_filter_to_vivaldi(embedding::VivaldiSystem& system,
+                             const SeverityFilter& filter,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  const auto n = static_cast<HostId>(system.size());
+  const auto& matrix = system.matrix();
+  const std::uint32_t want = system.params().neighbors_per_node;
+  for (HostId i = 0; i < n; ++i) {
+    std::vector<HostId> candidates;
+    for (HostId j = 0; j < n; ++j) {
+      if (j != i && matrix.has(i, j) && !filter.filtered(i, j)) {
+        candidates.push_back(j);
+      }
+    }
+    if (candidates.empty()) continue;  // keep the old set rather than none
+    std::vector<HostId> neighbors;
+    if (candidates.size() <= want) {
+      neighbors = std::move(candidates);
+    } else {
+      const auto picks = rng.sample_without_replacement(
+          static_cast<std::uint32_t>(candidates.size()), want);
+      neighbors.reserve(want);
+      for (auto p : picks) neighbors.push_back(candidates[p]);
+    }
+    system.set_neighbors(i, std::move(neighbors));
+  }
+}
+
+}  // namespace tiv::core

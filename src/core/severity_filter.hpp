@@ -1,0 +1,47 @@
+// The §4.3 strawman: with *global* knowledge of all severities, remove the
+// worst edges from the delay matrix before running a neighbor-selection
+// mechanism. The paper shows this barely helps Vivaldi and actively hurts
+// Meridian (ring under-population) — motivating the fine-grained alert
+// mechanism instead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/severity.hpp"
+#include "embedding/vivaldi.hpp"
+
+namespace tiv::core {
+
+/// Set of filtered (removed) edges, built from a severity matrix.
+class SeverityFilter {
+ public:
+  /// Filters the `worst_fraction` of measured edges with the highest
+  /// severity.
+  SeverityFilter(const DelayMatrix& matrix, const SeverityMatrix& severities,
+                 double worst_fraction);
+  /// Deleted: the filter keeps a pointer to the severity matrix; a
+  /// temporary would dangle.
+  SeverityFilter(const DelayMatrix&, SeverityMatrix&&, double) = delete;
+
+  /// True when the edge is filtered (must not be used).
+  bool filtered(HostId a, HostId b) const;
+
+  double cutoff_severity() const { return cutoff_; }
+  std::size_t filtered_count() const { return filtered_count_; }
+
+ private:
+  const SeverityMatrix* severities_;
+  double cutoff_ = 0.0;
+  std::size_t filtered_count_ = 0;
+};
+
+/// Re-draws every node's Vivaldi neighbor set avoiding filtered edges
+/// (keeps the configured neighbor count when enough unfiltered peers
+/// exist). This is how the strawman plugs into Vivaldi: probing neighbors
+/// simply never use high-severity edges.
+void apply_filter_to_vivaldi(embedding::VivaldiSystem& system,
+                             const SeverityFilter& filter,
+                             std::uint64_t seed = 31);
+
+}  // namespace tiv::core

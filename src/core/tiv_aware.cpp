@@ -1,0 +1,22 @@
+#include "core/tiv_aware.hpp"
+
+namespace tiv::core {
+
+meridian::DelayPredictor vivaldi_predictor(
+    const embedding::VivaldiSystem& system) {
+  return [&system](delayspace::HostId a, delayspace::HostId b) {
+    return system.predicted(a, b);
+  };
+}
+
+meridian::MeridianParams tiv_aware_meridian_params(
+    const embedding::VivaldiSystem& system, meridian::MeridianParams base) {
+  base.predictor = vivaldi_predictor(system);
+  base.adjust_rings = true;
+  base.restart_on_alert = true;
+  base.ts = 0.6;
+  base.tl = 2.0;
+  return base;
+}
+
+}  // namespace tiv::core

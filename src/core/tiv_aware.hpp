@@ -1,0 +1,23 @@
+// Glue making the neighbor-selection mechanisms TIV-aware (paper §5.3):
+// a Vivaldi embedding supplies prediction ratios, and Meridian consumes
+// them through its predictor hooks (dual ring placement + query restart).
+#pragma once
+
+#include "embedding/vivaldi.hpp"
+#include "meridian/meridian.hpp"
+
+namespace tiv::core {
+
+/// Delay predictor backed by a Vivaldi system's current coordinates. The
+/// system must outlive the returned function.
+meridian::DelayPredictor vivaldi_predictor(
+    const embedding::VivaldiSystem& system);
+
+/// Meridian parameters with the paper's TIV-alert configuration applied:
+/// predictor from `system`, ring adjustment and query restart enabled,
+/// ts = 0.6, tl = 2 (the paper's §5.3 settings).
+meridian::MeridianParams tiv_aware_meridian_params(
+    const embedding::VivaldiSystem& system,
+    meridian::MeridianParams base = {});
+
+}  // namespace tiv::core

@@ -1,0 +1,95 @@
+#include "delayspace/clustering.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tiv::delayspace {
+
+std::vector<HostId> Clustering::grouped_order() const {
+  std::vector<HostId> order;
+  order.reserve(assignment.size());
+  for (const auto& cluster : members) {
+    order.insert(order.end(), cluster.begin(), cluster.end());
+  }
+  order.insert(order.end(), noise.begin(), noise.end());
+  return order;
+}
+
+Clustering cluster_delay_space(const DelayMatrix& matrix,
+                               const ClusteringParams& params) {
+  const HostId n = matrix.size();
+  const auto thresh = static_cast<float>(params.threshold_ms);
+  std::vector<bool> assigned(n, false);
+  Clustering out;
+  out.assignment.assign(n, -1);
+
+  const auto min_size = static_cast<std::size_t>(
+      params.min_major_fraction * static_cast<double>(n));
+
+  for (std::uint32_t c = 0; c < params.max_clusters; ++c) {
+    // Seed: unassigned node with the most unassigned close neighbors.
+    HostId best_seed = n;
+    std::size_t best_count = 0;
+    for (HostId i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      std::size_t count = 0;
+      const auto row = matrix.row(i);
+      for (HostId j = 0; j < n; ++j) {
+        if (!assigned[j] && j != i && row[j] >= 0.0f && row[j] < thresh) {
+          ++count;
+        }
+      }
+      if (count > best_count || best_seed == n) {
+        best_count = count;
+        best_seed = i;
+      }
+    }
+    if (best_seed == n || best_count + 1 < std::max<std::size_t>(min_size, 2)) {
+      break;  // no remaining major cluster
+    }
+    std::vector<HostId> cluster{best_seed};
+    const auto seed_row = matrix.row(best_seed);
+    for (HostId j = 0; j < n; ++j) {
+      if (!assigned[j] && j != best_seed && seed_row[j] >= 0.0f &&
+          seed_row[j] < thresh) {
+        cluster.push_back(j);
+      }
+    }
+    for (HostId m : cluster) assigned[m] = true;
+    out.members.push_back(std::move(cluster));
+  }
+
+  // Largest cluster first, then fill assignments and the noise bucket.
+  std::sort(out.members.begin(), out.members.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  for (std::size_t c = 0; c < out.members.size(); ++c) {
+    for (HostId m : out.members[c]) out.assignment[m] = static_cast<int>(c);
+  }
+  for (HostId i = 0; i < n; ++i) {
+    if (!assigned[i]) out.noise.push_back(i);
+  }
+  return out;
+}
+
+double rand_index(const Clustering& clustering,
+                  const std::vector<int>& truth_labels) {
+  const std::size_t n = clustering.assignment.size();
+  assert(truth_labels.size() == n);
+  if (n < 2) return 1.0;
+  std::size_t agree = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool same_found = clustering.assignment[i] >= 0 &&
+                              clustering.assignment[i] ==
+                                  clustering.assignment[j];
+      const bool same_truth =
+          truth_labels[i] >= 0 && truth_labels[i] == truth_labels[j];
+      agree += same_found == same_truth;
+      ++total;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+}  // namespace tiv::delayspace

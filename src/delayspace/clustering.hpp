@@ -1,0 +1,56 @@
+// Major-cluster extraction from a delay matrix, following the approach of
+// the DS^2 study [35]: nodes whose mutual delays are small form continental
+// clusters; everything that joins no major cluster is the "noise cluster".
+// Used to reproduce Fig. 3 (severity-by-cluster matrix) and Fig. 8 (fraction
+// of within-cluster edges vs delay).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "delayspace/delay_matrix.hpp"
+
+namespace tiv::delayspace {
+
+struct ClusteringParams {
+  /// Two nodes are "close" when their delay is below this.
+  double threshold_ms = 55.0;
+  /// Extract at most this many major clusters (the paper uses 3).
+  std::uint32_t max_clusters = 3;
+  /// A cluster smaller than this fraction of all nodes is not major; its
+  /// nodes fall into the noise cluster.
+  double min_major_fraction = 0.04;
+};
+
+struct Clustering {
+  /// Cluster index per node, largest cluster first; -1 = noise cluster.
+  std::vector<int> assignment;
+  /// Members per major cluster, ordered by descending size.
+  std::vector<std::vector<HostId>> members;
+  /// Noise-cluster members.
+  std::vector<HostId> noise;
+
+  std::size_t num_clusters() const { return members.size(); }
+  bool same_cluster(HostId a, HostId b) const {
+    return assignment[a] >= 0 && assignment[a] == assignment[b];
+  }
+
+  /// Node order for the Fig. 3 matrix rendering: cluster 0 members, then
+  /// cluster 1, ..., then noise.
+  std::vector<HostId> grouped_order() const;
+};
+
+/// Greedy seed-and-grow clustering: repeatedly seed a cluster at the
+/// unassigned node with the most unassigned close neighbors and absorb all
+/// unassigned nodes within the threshold of the seed. Deterministic.
+/// Missing measurements count as "far".
+Clustering cluster_delay_space(const DelayMatrix& matrix,
+                               const ClusteringParams& params = {});
+
+/// Agreement between a clustering and ground-truth labels, as the fraction
+/// of node pairs on which the two partitions agree (Rand index). Labels < 0
+/// are noise; noise-noise pairs count as same-cluster in neither partition.
+double rand_index(const Clustering& clustering,
+                  const std::vector<int>& truth_labels);
+
+}  // namespace tiv::delayspace

@@ -1,0 +1,90 @@
+#include "delayspace/datasets.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tiv::delayspace {
+
+std::vector<DatasetId> all_datasets() {
+  return {DatasetId::kDs2, DatasetId::kMeridian, DatasetId::kP2psim,
+          DatasetId::kPlanetLab};
+}
+
+std::string dataset_name(DatasetId id) {
+  switch (id) {
+    case DatasetId::kDs2:
+      return "DS2-4000-data";
+    case DatasetId::kMeridian:
+      return "Meridian-2500-data";
+    case DatasetId::kP2psim:
+      return "p2psim-1740-data";
+    case DatasetId::kPlanetLab:
+      return "PlanetLab-229-data";
+  }
+  throw std::invalid_argument("dataset_name: bad id");
+}
+
+std::uint32_t dataset_full_size(DatasetId id) {
+  switch (id) {
+    case DatasetId::kDs2:
+      return 4000;
+    case DatasetId::kMeridian:
+      return 2500;
+    case DatasetId::kP2psim:
+      return 1740;
+    case DatasetId::kPlanetLab:
+      return 229;
+  }
+  throw std::invalid_argument("dataset_full_size: bad id");
+}
+
+DelaySpaceParams dataset_params(DatasetId id,
+                                std::uint32_t num_hosts_override) {
+  DelaySpaceParams p;
+  const std::uint32_t hosts =
+      num_hosts_override != 0 ? num_hosts_override : dataset_full_size(id);
+  p.hosts.num_hosts = hosts;
+  // Roughly one edge AS per 8 hosts keeps per-AS host counts realistic at
+  // every scale; the floor keeps small runs structurally interesting.
+  p.topology.num_ases = std::max<std::uint32_t>(60, hosts / 8);
+
+  switch (id) {
+    case DatasetId::kDs2:
+      p.topology.seed = 11;
+      p.hosts.seed = 12;
+      break;
+    case DatasetId::kMeridian:
+      // Sparser regional peering -> heavier severity tail (paper Fig. 6
+      // reaches severity ~20 vs DS^2's ~10).
+      p.topology.seed = 21;
+      p.hosts.seed = 22;
+      p.topology.tier2_peering_same_cluster = 0.05;
+      p.topology.tier2_peering_cross_cluster = 0.008;
+      break;
+    case DatasetId::kP2psim:
+      // King technique measures recursive DNS servers: better-connected
+      // vantage points, milder tail (Fig. 5 tops out near severity 3).
+      p.topology.seed = 31;
+      p.hosts.seed = 32;
+      p.topology.tier2_peering_same_cluster = 0.25;
+      p.topology.tier2_peering_cross_cluster = 0.03;
+      p.hosts.access_log_sigma = 0.5;
+      break;
+    case DatasetId::kPlanetLab:
+      // Small academic testbed: few ASes, noisy measurements, a handful of
+      // badly-routed islands.
+      p.topology.seed = 41;
+      p.hosts.seed = 42;
+      p.topology.num_ases = std::max<std::uint32_t>(50, hosts / 3);
+      p.topology.noise_fraction = 0.08;
+      p.hosts.measurement_noise_sigma = 0.05;
+      break;
+  }
+  return p;
+}
+
+DelaySpace make_dataset(DatasetId id, std::uint32_t num_hosts_override) {
+  return generate_delay_space(dataset_params(id, num_hosts_override));
+}
+
+}  // namespace tiv::delayspace

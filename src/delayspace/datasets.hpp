@@ -1,0 +1,41 @@
+// Named dataset presets standing in for the four measured matrices the
+// paper analyzes. Each preset reproduces the dataset's node count and rough
+// delay character; pass a node-count override to run the same character at
+// a reduced scale (the figure benches default to reduced scale because the
+// TIV-severity analysis is O(N^3)).
+//
+//   ds2_4000      DS^2 4000-host matrix  — the paper's main dataset
+//   meridian_2500 Meridian 2500-host matrix — sparser regional peering,
+//                 which is why its severity tail (Fig. 6) is the heaviest
+//   p2psim_1740   p2psim 1740-host matrix — King measurements, mild tail
+//   planetlab_229 229 PlanetLab hosts — small, academic, noisy
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "delayspace/generate.hpp"
+
+namespace tiv::delayspace {
+
+enum class DatasetId { kDs2, kMeridian, kP2psim, kPlanetLab };
+
+/// All presets, in the order the paper lists them.
+std::vector<DatasetId> all_datasets();
+
+/// Human-readable name matching the paper's figure legends.
+std::string dataset_name(DatasetId id);
+
+/// Paper-scale host count of the dataset.
+std::uint32_t dataset_full_size(DatasetId id);
+
+/// Generator parameters for the preset. num_hosts_override != 0 scales the
+/// host count (AS count scales proportionally, floored to stay realistic).
+DelaySpaceParams dataset_params(DatasetId id,
+                                std::uint32_t num_hosts_override = 0);
+
+/// Convenience: generate the preset's delay space.
+DelaySpace make_dataset(DatasetId id, std::uint32_t num_hosts_override = 0);
+
+}  // namespace tiv::delayspace

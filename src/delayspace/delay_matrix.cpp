@@ -1,0 +1,80 @@
+#include "delayspace/delay_matrix.hpp"
+
+#include <cassert>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tiv::delayspace {
+
+DelayMatrix::DelayMatrix(HostId n) : n_(n) {
+  data_.assign(static_cast<std::size_t>(n) * n, kMissing);
+  for (HostId i = 0; i < n; ++i) data_[idx(i, i)] = 0.0f;
+}
+
+void DelayMatrix::set(HostId i, HostId j, float delay_ms) {
+  assert(i < n_ && j < n_ && i != j);
+  assert(delay_ms >= 0.0f || delay_ms == kMissing);
+  data_[idx(i, j)] = delay_ms;
+  data_[idx(j, i)] = delay_ms;
+}
+
+std::size_t DelayMatrix::measured_pair_count() const {
+  std::size_t count = 0;
+  for (HostId i = 0; i < n_; ++i) {
+    for (HostId j = i + 1; j < n_; ++j) count += has(i, j);
+  }
+  return count;
+}
+
+double DelayMatrix::missing_fraction() const {
+  if (n_ < 2) return 0.0;
+  const auto total = static_cast<double>(n_) * (n_ - 1) / 2.0;
+  return 1.0 - static_cast<double>(measured_pair_count()) / total;
+}
+
+std::vector<double> DelayMatrix::all_delays() const {
+  std::vector<double> out;
+  out.reserve(measured_pair_count());
+  for (HostId i = 0; i < n_; ++i) {
+    for (HostId j = i + 1; j < n_; ++j) {
+      if (has(i, j)) out.push_back(at(i, j));
+    }
+  }
+  return out;
+}
+
+void DelayMatrix::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("DelayMatrix::save: cannot open " + path);
+  out << n_ << '\n';
+  for (HostId i = 0; i < n_; ++i) {
+    for (HostId j = i + 1; j < n_; ++j) {
+      if (has(i, j)) out << i << ' ' << j << ' ' << at(i, j) << '\n';
+    }
+  }
+  if (!out) throw std::runtime_error("DelayMatrix::save: write failed");
+}
+
+DelayMatrix DelayMatrix::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("DelayMatrix::load: cannot open " + path);
+  HostId n = 0;
+  if (!(in >> n)) throw std::runtime_error("DelayMatrix::load: bad header");
+  DelayMatrix m(n);
+  HostId i = 0;
+  HostId j = 0;
+  float d = 0.0f;
+  while (in >> i >> j >> d) {
+    if (i >= n || j >= n || i == j || d < 0.0f) {
+      std::ostringstream msg;
+      msg << "DelayMatrix::load: bad entry " << i << ' ' << j << ' ' << d;
+      throw std::runtime_error(msg.str());
+    }
+    m.set(i, j, d);
+  }
+  if (!in.eof()) throw std::runtime_error("DelayMatrix::load: parse error");
+  return m;
+}
+
+}  // namespace tiv::delayspace

@@ -1,0 +1,77 @@
+// Dense symmetric host-to-host round-trip delay matrix — the central data
+// structure of the study. Matches the shape of the measured matrices the
+// paper analyzes (p2psim, Meridian, DS^2, PlanetLab): symmetric RTTs in
+// milliseconds with occasional missing measurements.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tiv::delayspace {
+
+using HostId = std::uint32_t;
+
+/// Symmetric n-by-n delay matrix with missing-entry support.
+///
+/// Storage is a full row-major float matrix: the O(N^3) TIV analyzer scans
+/// whole rows, so the 2x memory cost of not using triangular storage buys
+/// contiguous, branch-free inner loops. Missing measurements are kMissing
+/// (negative); the diagonal is always 0.
+class DelayMatrix {
+ public:
+  static constexpr float kMissing = -1.0f;
+
+  DelayMatrix() = default;
+  explicit DelayMatrix(HostId n);
+
+  HostId size() const { return n_; }
+
+  /// Measured delay in ms, or kMissing. at(i,i) == 0.
+  float at(HostId i, HostId j) const { return data_[idx(i, j)]; }
+
+  /// True when the pair has a usable measurement (i != j and not missing).
+  bool has(HostId i, HostId j) const { return i != j && at(i, j) >= 0.0f; }
+
+  /// Sets both (i,j) and (j,i). Requires i != j and (delay >= 0 or
+  /// delay == kMissing).
+  void set(HostId i, HostId j, float delay_ms);
+
+  void set_missing(HostId i, HostId j) { set(i, j, kMissing); }
+
+  /// Row i as a contiguous span (includes diagonal zero and missing
+  /// sentinels) — the analyzer's hot-loop access path.
+  std::span<const float> row(HostId i) const {
+    return {data_.data() + static_cast<std::size_t>(i) * n_, n_};
+  }
+
+  /// Number of unordered pairs with a usable measurement.
+  std::size_t measured_pair_count() const;
+
+  /// Fraction of unordered pairs that are missing.
+  double missing_fraction() const;
+
+  /// All measured delays (unordered pairs), for distribution plots.
+  std::vector<double> all_delays() const;
+
+  /// Text serialization: first line "n", then one "i j delay" line per
+  /// measured unordered pair. Load throws std::runtime_error on malformed
+  /// input.
+  void save(const std::string& path) const;
+  static DelayMatrix load(const std::string& path);
+
+  bool operator==(const DelayMatrix& o) const {
+    return n_ == o.n_ && data_ == o.data_;
+  }
+
+ private:
+  std::size_t idx(HostId i, HostId j) const {
+    return static_cast<std::size_t>(i) * n_ + j;
+  }
+
+  HostId n_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace tiv::delayspace

@@ -1,0 +1,33 @@
+#include "delayspace/euclidean.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tiv::delayspace {
+
+DelayMatrix euclidean_matrix(const EuclideanParams& params) {
+  Rng rng(params.seed);
+  std::vector<std::vector<double>> points(params.num_hosts);
+  for (auto& p : points) {
+    p.resize(params.dimension);
+    for (double& x : p) x = rng.uniform(0.0, params.side_ms);
+  }
+  DelayMatrix m(params.num_hosts);
+  for (HostId i = 0; i < params.num_hosts; ++i) {
+    for (HostId j = i + 1; j < params.num_hosts; ++j) {
+      double ss = 0.0;
+      for (std::uint32_t d = 0; d < params.dimension; ++d) {
+        const double diff = points[i][d] - points[j][d];
+        ss += diff * diff;
+      }
+      // A tiny floor keeps zero-delay pairs out (they carry no spring force
+      // and make percentage penalties undefined).
+      m.set(i, j, static_cast<float>(std::max(0.01, std::sqrt(ss))));
+    }
+  }
+  return m;
+}
+
+}  // namespace tiv::delayspace

@@ -1,0 +1,25 @@
+// Artificial Euclidean delay matrices — TIV-free control inputs. The paper
+// uses one in Fig. 14 to show idealized Meridian is near-perfect when the
+// triangle inequality actually holds.
+#pragma once
+
+#include <cstdint>
+
+#include "delayspace/delay_matrix.hpp"
+
+namespace tiv::delayspace {
+
+struct EuclideanParams {
+  HostId num_hosts = 1000;
+  std::uint32_t dimension = 5;
+  /// Hosts are uniform in [0, side_ms]^dimension, so delays span roughly
+  /// [0, side_ms * sqrt(dimension)].
+  double side_ms = 150.0;
+  std::uint64_t seed = 61;
+};
+
+/// Generates pairwise Euclidean distances between random points. The result
+/// satisfies the triangle inequality exactly (up to float rounding).
+DelayMatrix euclidean_matrix(const EuclideanParams& params = {});
+
+}  // namespace tiv::delayspace

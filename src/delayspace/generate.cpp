@@ -1,0 +1,178 @@
+#include "delayspace/generate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "routing/shortest_path.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace tiv::delayspace {
+namespace {
+
+using topology::AsGraph;
+using topology::AsId;
+using topology::Tier;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic per-AS-pair anomaly multiplier (>= 1). Stateless so the
+/// same (seed, pair) always yields the same factor regardless of host
+/// iteration order.
+double as_pair_anomaly(const HostParams& p, std::uint64_t seed, AsId a,
+                       AsId b) {
+  if (p.as_pair_anomaly_prob <= 0.0 || a == b) return 1.0;
+  if (a > b) std::swap(a, b);
+  const std::uint64_t key =
+      mix64((static_cast<std::uint64_t>(a) << 32 | b) ^ mix64(seed));
+  const double u0 =
+      static_cast<double>(key >> 11) * 0x1.0p-53;  // uniform [0,1)
+  if (u0 >= p.as_pair_anomaly_prob) return 1.0;
+  double u1 = static_cast<double>(mix64(key + 1) >> 11) * 0x1.0p-53;
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double pareto =
+      p.anomaly_scale / std::pow(u1, 1.0 / p.anomaly_shape);
+  return std::min(p.anomaly_cap, 1.0 + pareto);
+}
+
+/// Assigns hosts to ASes and draws access delays. Host cluster label is the
+/// cluster of its AS.
+struct HostAttachment {
+  std::vector<AsId> host_as;
+  std::vector<int> host_cluster;
+  std::vector<double> access_ms;
+};
+
+HostAttachment attach_hosts(const AsGraph& graph, const HostParams& p,
+                            Rng& rng) {
+  std::vector<AsId> eligible;
+  for (AsId v = 0; v < graph.size(); ++v) {
+    if (!p.edge_attachment_only || graph.node(v).tier != Tier::kTier1) {
+      eligible.push_back(v);
+    }
+  }
+  if (eligible.empty()) {
+    throw std::invalid_argument("attach_hosts: no eligible ASes");
+  }
+  HostAttachment out;
+  out.host_as.resize(p.num_hosts);
+  out.host_cluster.resize(p.num_hosts);
+  out.access_ms.resize(p.num_hosts);
+  for (std::uint32_t h = 0; h < p.num_hosts; ++h) {
+    const AsId as = eligible[rng.uniform_index(eligible.size())];
+    out.host_as[h] = as;
+    out.host_cluster[h] = graph.node(as).cluster;
+    if (rng.bernoulli(p.satellite_access_prob)) {
+      out.access_ms[h] =
+          rng.uniform(p.satellite_access_min_ms, p.satellite_access_max_ms);
+    } else {
+      out.access_ms[h] =
+          std::exp(rng.normal(p.access_log_mu, p.access_log_sigma));
+    }
+  }
+  return out;
+}
+
+/// Builds the two host matrices given per-AS-pair delays. as_delay(a, b)
+/// must be symmetric-averaged already.
+template <typename AsDelayFn, typename OptDelayFn>
+DelaySpace assemble(const HostAttachment& att, const HostParams& p,
+                    AsDelayFn&& as_delay, OptDelayFn&& opt_delay, Rng& rng) {
+  const auto n = static_cast<HostId>(att.host_as.size());
+  DelaySpace ds;
+  ds.measured = DelayMatrix(n);
+  ds.optimal = DelayMatrix(n);
+  ds.host_as = att.host_as;
+  ds.host_cluster = att.host_cluster;
+  ds.host_access_ms = att.access_ms;
+  for (HostId i = 0; i < n; ++i) {
+    for (HostId j = i + 1; j < n; ++j) {
+      const double access = att.access_ms[i] + att.access_ms[j];
+      double measured = access + as_delay(att.host_as[i], att.host_as[j]);
+      const double optimal = access + opt_delay(att.host_as[i], att.host_as[j]);
+      if (p.measurement_noise_sigma > 0.0) {
+        measured *= std::exp(rng.normal(0.0, p.measurement_noise_sigma));
+      }
+      if (p.additive_jitter_ms > 0.0) {
+        measured += std::abs(rng.normal(0.0, p.additive_jitter_ms));
+      }
+      // Policy paths are never shorter than shortest paths, and noise can
+      // only be trusted to keep that ordering approximately; clamp so the
+      // "optimal" matrix is a true lower bound.
+      measured = std::max(measured, optimal);
+      // Measurement artifacts bypass the physical lower bound on purpose:
+      // an erroneous low sample is below what the network can deliver.
+      if (p.under_measurement_prob > 0.0 &&
+          rng.bernoulli(p.under_measurement_prob)) {
+        measured *= rng.uniform(p.under_measurement_low, 0.5);
+      }
+      if (p.missing_fraction > 0.0 && rng.bernoulli(p.missing_fraction)) {
+        continue;  // leave the pair missing in both matrices
+      }
+      ds.measured.set(i, j, static_cast<float>(measured));
+      ds.optimal.set(i, j, static_cast<float>(optimal));
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+DelaySpace generate_hosts_over(const AsGraph& graph,
+                               const routing::PolicyRoutingMatrix& policy,
+                               const HostParams& params) {
+  Rng rng(params.seed);
+  const HostAttachment att = attach_hosts(graph, params, rng);
+  const routing::ShortestPathMatrix shortest(graph);
+  auto policy_delay = [&](AsId a, AsId b) {
+    if (a == b) return 0.0;
+    const auto& fwd = policy.route(a, b);
+    const auto& rev = policy.route(b, a);
+    if (!fwd.reachable() || !rev.reachable()) {
+      // The generator guarantees reachability (stubs always have provider
+      // chains to the peered tier-1 core); an unreachable pair means the
+      // topology is malformed.
+      throw std::logic_error("generate_hosts_over: unreachable AS pair");
+    }
+    const double base = (fwd.data_delay_ms + rev.data_delay_ms) / 2.0;
+    const double factor = as_pair_anomaly(params, params.seed, a, b);
+    if (factor <= 1.0) return base;
+    return std::min(base * factor,
+                    std::max(base, params.anomaly_max_delay_ms));
+  };
+  auto optimal_delay = [&](AsId a, AsId b) {
+    return a == b ? 0.0 : shortest.delay(a, b);
+  };
+  return assemble(att, params, policy_delay, optimal_delay, rng);
+}
+
+DelaySpace generate_delay_space(const DelaySpaceParams& params) {
+  const AsGraph graph = topology::generate_topology(params.topology);
+  const routing::PolicyRoutingMatrix policy(graph);
+  return generate_hosts_over(graph, policy, params.hosts);
+}
+
+DelaySpace generate_iid_inflation(const DelaySpaceParams& params,
+                                  double inflation_pareto_shape) {
+  const AsGraph graph = topology::generate_topology(params.topology);
+  Rng rng(params.hosts.seed);
+  const HostAttachment att = attach_hosts(graph, params.hosts, rng);
+  const routing::ShortestPathMatrix shortest(graph);
+  // Every pair is inflated independently of the topology: Pareto(1, shape),
+  // so most pairs see mild inflation and a heavy tail sees large inflation.
+  auto optimal_delay = [&](AsId a, AsId b) {
+    return a == b ? 0.0 : shortest.delay(a, b);
+  };
+  Rng inflation_rng = rng.split();
+  auto inflated_delay = [&](AsId a, AsId b) {
+    return optimal_delay(a, b) *
+           inflation_rng.pareto(1.0, inflation_pareto_shape);
+  };
+  return assemble(att, params.hosts, inflated_delay, optimal_delay, rng);
+}
+
+}  // namespace tiv::delayspace

@@ -1,0 +1,128 @@
+// Synthetic Internet delay-space generator.
+//
+// Composition: an AS-level topology (topology/), valley-free policy routing
+// over it (routing/), hosts attached to edge ASes with heavy-tailed access
+// delays, and multiplicative measurement noise. The measured host RTT is
+//
+//   d(i,j) = access_i + access_j
+//          + (policy_delay(as_i -> as_j) + policy_delay(as_j -> as_i)) / 2
+//          [ * lognormal noise ]
+//
+// The forward/reverse average keeps the matrix symmetric (the paper works
+// with symmetric RTT matrices) while still reflecting route asymmetry.
+// Alongside the measured matrix the generator returns the policy-free
+// shortest-path matrix — the "what routing could have achieved" baseline
+// whose gap to the measured matrix is the root cause of every TIV — plus
+// ground-truth cluster labels for validating the clustering module.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "delayspace/delay_matrix.hpp"
+#include "routing/policy_routing.hpp"
+#include "topology/as_graph.hpp"
+#include "topology/generator.hpp"
+
+namespace tiv::delayspace {
+
+struct HostParams {
+  std::uint32_t num_hosts = 1000;
+
+  /// Access-link delay: exp(Normal(mu, sigma)) ms per host. The defaults
+  /// give a ~1.5 ms median with a DSL-like tail.
+  double access_log_mu = 0.4;
+  double access_log_sigma = 0.7;
+
+  /// Fraction of hosts on satellite/dialup access with a delay drawn
+  /// uniformly from [satellite_access_min_ms, satellite_access_max_ms].
+  /// Their edges all carry a large additive constant, which (a) stretches
+  /// the delay range toward the ~1000 ms the measured datasets reach and
+  /// (b) produces the §2.1 edge class that is violated by *many* witnesses
+  /// at near-1 triangulation ratios.
+  double satellite_access_prob = 0.01;
+  double satellite_access_min_ms = 150.0;
+  double satellite_access_max_ms = 300.0;
+
+  /// Multiplicative measurement noise sigma (lognormal, applied once per
+  /// unordered pair). 0 disables noise.
+  double measurement_noise_sigma = 0.02;
+
+  /// Additive per-pair jitter (half-normal, ms): last-mile queueing and
+  /// server load that is idiosyncratic to the pair. Negligible on long
+  /// paths but a large *relative* effect on the few-ms edges that decide
+  /// nearest-neighbor questions. Off by default: it raises the marginal-
+  /// violation rate noticeably; see EXPERIMENTS.md (Fig. 15 discussion).
+  double additive_jitter_ms = 0.0;
+
+  /// Fraction of unordered pairs recorded as missing measurements.
+  double missing_fraction = 0.0;
+
+  /// AS-pair routing pathologies: with this probability an (ordered-
+  /// normalized) AS pair's policy route is persistently broken — loops,
+  /// misconfigured MEDs, satellite backup paths — multiplying its
+  /// experienced delay by 1 + Pareto(anomaly_scale, anomaly_shape), capped
+  /// at anomaly_cap. Every host pair homed to the two ASes shares the
+  /// anomaly, so the effect is structural, not i.i.d. noise. These are the
+  /// edges that reach the extreme TIV severities the measured datasets
+  /// exhibit (a ~500 ms edge whose detours through most witnesses are
+  /// ~60 ms).
+  double as_pair_anomaly_prob = 0.012;
+  double anomaly_scale = 1.0;
+  double anomaly_shape = 1.1;
+  double anomaly_cap = 12.0;
+  /// The anomalous delay itself is additionally capped at this value, so a
+  /// x12 anomaly on an already-long transcontinental path cannot produce
+  /// multi-second RTTs the measured datasets do not contain.
+  double anomaly_max_delay_ms = 1000.0;
+
+  /// Measurement artifacts: with this (small) probability a host pair's
+  /// recorded delay is drastically under-measured — King-style datasets
+  /// contain such erroneous low samples. An under-measured edge A-B turns
+  /// node B into a "magic" witness that certifies extreme-ratio violations
+  /// for otherwise quiet A-C edges; these are the paper's §2.1 edges whose
+  /// mean triangulation ratio is huge while they cause fewer than 3
+  /// violations.
+  double under_measurement_prob = 3e-4;
+  /// Artifact multiplier is uniform in [under_measurement_low, 0.5].
+  double under_measurement_low = 0.05;
+
+  /// Hosts attach only to stub/tier-2 ASes when true (tier-1 ASes host no
+  /// end systems, as in reality).
+  bool edge_attachment_only = true;
+
+  std::uint64_t seed = 7;
+};
+
+struct DelaySpaceParams {
+  topology::TopologyParams topology;
+  HostParams hosts;
+};
+
+/// A generated delay space with its ground truth.
+struct DelaySpace {
+  DelayMatrix measured;  ///< policy-routed RTTs (what systems observe)
+  DelayMatrix optimal;   ///< policy-free shortest-path RTTs (ground truth)
+  std::vector<int> host_cluster;           ///< continent per host (or kNoiseCluster)
+  std::vector<topology::AsId> host_as;     ///< attachment AS per host
+  std::vector<double> host_access_ms;      ///< access delay per host
+};
+
+/// Generates a delay space. Deterministic in the seeds carried by params.
+/// Throws std::invalid_argument on unsatisfiable parameters.
+DelaySpace generate_delay_space(const DelaySpaceParams& params);
+
+/// Variant that reuses an existing topology + routing solution (used by the
+/// generator ablation bench to hold the substrate fixed while swapping the
+/// inflation mechanism).
+DelaySpace generate_hosts_over(const topology::AsGraph& graph,
+                               const routing::PolicyRoutingMatrix& policy,
+                               const HostParams& params);
+
+/// Ablation baseline: i.i.d. multiplicative inflation over the *optimal*
+/// delays instead of policy routing. Produces TIVs with unrealistically
+/// regular severity-vs-length structure; see bench_ablation_generator.
+DelaySpace generate_iid_inflation(const DelaySpaceParams& params,
+                                  double inflation_pareto_shape = 2.5);
+
+}  // namespace tiv::delayspace

@@ -1,0 +1,45 @@
+#include "delayspace/overlay.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/parallel.hpp"
+
+namespace tiv::delayspace {
+
+OverlayPaths::OverlayPaths(const DelayMatrix& matrix) : n_(matrix.size()) {
+  const std::size_t n = n_;
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  dist_.assign(n * n, kInf);
+  for (HostId i = 0; i < n_; ++i) {
+    dist_[static_cast<std::size_t>(i) * n + i] = 0.0f;
+    const auto row = matrix.row(i);
+    for (HostId j = 0; j < n_; ++j) {
+      if (matrix.has(i, j)) {
+        dist_[static_cast<std::size_t>(i) * n + j] = row[j];
+      }
+    }
+  }
+  // Floyd-Warshall. The k loop is sequential (each step depends on the
+  // previous), but for a fixed k all rows are independent.
+  for (std::size_t k = 0; k < n; ++k) {
+    const float* row_k = dist_.data() + k * n;
+    parallel_for(n, [&](std::size_t i) {
+      float* row_i = dist_.data() + i * n;
+      const float dik = row_i[k];
+      if (dik == kInf) return;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float via = dik + row_k[j];
+        if (via < row_i[j]) row_i[j] = via;
+      }
+    });
+  }
+}
+
+float OverlayPaths::detour_gain(const DelayMatrix& matrix, HostId i,
+                                HostId j) const {
+  if (!matrix.has(i, j)) return 0.0f;
+  return std::max(0.0f, matrix.at(i, j) - delay(i, j));
+}
+
+}  // namespace tiv::delayspace

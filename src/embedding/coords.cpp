@@ -1,0 +1,48 @@
+#include "embedding/coords.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tiv::embedding {
+
+Vec& Vec::operator+=(const Vec& o) {
+  assert(dim() == o.dim());
+  for (std::size_t i = 0; i < v_.size(); ++i) v_[i] += o.v_[i];
+  return *this;
+}
+
+Vec& Vec::operator-=(const Vec& o) {
+  assert(dim() == o.dim());
+  for (std::size_t i = 0; i < v_.size(); ++i) v_[i] -= o.v_[i];
+  return *this;
+}
+
+Vec& Vec::operator*=(double s) {
+  for (double& x : v_) x *= s;
+  return *this;
+}
+
+double Vec::norm() const {
+  double ss = 0.0;
+  for (double x : v_) ss += x * x;
+  return std::sqrt(ss);
+}
+
+double Vec::dot(const Vec& o) const {
+  assert(dim() == o.dim());
+  double s = 0.0;
+  for (std::size_t i = 0; i < v_.size(); ++i) s += v_[i] * o.v_[i];
+  return s;
+}
+
+double distance(const Vec& a, const Vec& b) {
+  assert(a.dim() == b.dim());
+  double ss = 0.0;
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    const double d = a[i] - b[i];
+    ss += d * d;
+  }
+  return std::sqrt(ss);
+}
+
+}  // namespace tiv::embedding

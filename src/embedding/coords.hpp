@@ -1,0 +1,43 @@
+// Small dense vectors for network coordinates. Dimensionality is a runtime
+// parameter (the paper uses 5-D; the ablation bench sweeps 2-9), so this is
+// a thin wrapper over std::vector<double> with the handful of operations the
+// embedding algorithms need.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tiv::embedding {
+
+class Vec {
+ public:
+  Vec() = default;
+  explicit Vec(std::size_t dim) : v_(dim, 0.0) {}
+  explicit Vec(std::vector<double> values) : v_(std::move(values)) {}
+
+  std::size_t dim() const { return v_.size(); }
+  double operator[](std::size_t i) const { return v_[i]; }
+  double& operator[](std::size_t i) { return v_[i]; }
+
+  Vec& operator+=(const Vec& o);
+  Vec& operator-=(const Vec& o);
+  Vec& operator*=(double s);
+
+  friend Vec operator+(Vec a, const Vec& b) { return a += b; }
+  friend Vec operator-(Vec a, const Vec& b) { return a -= b; }
+  friend Vec operator*(Vec a, double s) { return a *= s; }
+  friend Vec operator*(double s, Vec a) { return a *= s; }
+
+  double norm() const;
+  double dot(const Vec& o) const;
+
+  const std::vector<double>& values() const { return v_; }
+
+ private:
+  std::vector<double> v_;
+};
+
+/// Euclidean distance between coordinates of equal dimension.
+double distance(const Vec& a, const Vec& b);
+
+}  // namespace tiv::embedding

@@ -1,0 +1,28 @@
+#include "embedding/lat.hpp"
+
+#include <algorithm>
+
+namespace tiv::embedding {
+
+using delayspace::HostId;
+
+LatAdjustment::LatAdjustment(const VivaldiSystem& system) {
+  const auto n = static_cast<HostId>(system.size());
+  e_.assign(n, 0.0);
+  for (HostId x = 0; x < n; ++x) {
+    const auto& sample = system.neighbors(x);
+    if (sample.empty()) continue;
+    double sum = 0.0;
+    for (HostId y : sample) {
+      sum += system.matrix().at(x, y) - system.predicted(x, y);
+    }
+    e_[x] = sum / (2.0 * static_cast<double>(sample.size()));
+  }
+}
+
+double LatAdjustment::predicted(const VivaldiSystem& system, HostId i,
+                                HostId j) const {
+  return std::max(0.0, system.predicted(i, j) + e_[i] + e_[j]);
+}
+
+}  // namespace tiv::embedding

@@ -1,0 +1,40 @@
+// Localized Adjustment Term (Lee et al., SIGMETRICS 2006) — one of the two
+// strawman TIV accommodations the paper evaluates in §4.2.
+//
+// Each node x keeps its Euclidean coordinate c_x plus a scalar adjustment
+// e_x, set to half the average signed residual against a sample set S of
+// measured nodes:
+//
+//   e_x = sum_{y in S} (d_xy - dhat_xy) / (2 |S|)
+//
+// and the adjusted prediction is dhat'_xy = ||c_x - c_y|| + e_x + e_y. The
+// adjustments can model non-Euclidean effects (a chronically shrunk node
+// pushes all its predictions up) but, as Fig. 16 shows, they barely help
+// nearest-neighbor selection.
+#pragma once
+
+#include <vector>
+
+#include "delayspace/delay_matrix.hpp"
+#include "embedding/vivaldi.hpp"
+
+namespace tiv::embedding {
+
+class LatAdjustment {
+ public:
+  /// Computes adjustments from the system's current coordinates, sampling
+  /// each node's residuals against its own Vivaldi neighbor set (the
+  /// measurements a deployed node actually has).
+  explicit LatAdjustment(const VivaldiSystem& system);
+
+  double adjustment(delayspace::HostId x) const { return e_[x]; }
+
+  /// Adjusted prediction; never below 0.
+  double predicted(const VivaldiSystem& system, delayspace::HostId i,
+                   delayspace::HostId j) const;
+
+ private:
+  std::vector<double> e_;
+};
+
+}  // namespace tiv::embedding

@@ -1,0 +1,88 @@
+#include "embedding/trackers.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace tiv::embedding {
+
+using delayspace::HostId;
+
+EdgeErrorTrace::EdgeErrorTrace(std::vector<Edge> edges)
+    : edges_(std::move(edges)), traces_(edges_.size()) {}
+
+void EdgeErrorTrace::observe(const VivaldiSystem& system) {
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    const auto [i, j] = edges_[e];
+    traces_[e].push_back(system.predicted(i, j) - system.matrix().at(i, j));
+  }
+}
+
+OscillationTracker::OscillationTracker(std::vector<Edge> edges)
+    : edges_(std::move(edges)),
+      min_(edges_.size(), std::numeric_limits<double>::infinity()),
+      max_(edges_.size(), -std::numeric_limits<double>::infinity()) {}
+
+OscillationTracker::OscillationTracker(const delayspace::DelayMatrix& matrix,
+                                       std::size_t max_edges,
+                                       std::uint64_t seed) {
+  const HostId n = matrix.size();
+  const std::size_t total = matrix.measured_pair_count();
+  if (total <= max_edges) {
+    for (HostId i = 0; i < n; ++i) {
+      for (HostId j = i + 1; j < n; ++j) {
+        if (matrix.has(i, j)) edges_.emplace_back(i, j);
+      }
+    }
+  } else {
+    Rng rng(seed);
+    edges_.reserve(max_edges);
+    std::size_t attempts = 0;
+    while (edges_.size() < max_edges && attempts < max_edges * 30) {
+      ++attempts;
+      auto i = static_cast<HostId>(rng.uniform_index(n));
+      auto j = static_cast<HostId>(rng.uniform_index(n));
+      if (i == j || !matrix.has(i, j)) continue;
+      if (i > j) std::swap(i, j);
+      edges_.emplace_back(i, j);
+    }
+    // Duplicate sampled edges are harmless: both entries track the same
+    // min/max and yield the same range.
+  }
+  min_.assign(edges_.size(), std::numeric_limits<double>::infinity());
+  max_.assign(edges_.size(), -std::numeric_limits<double>::infinity());
+}
+
+void OscillationTracker::observe(const VivaldiSystem& system) {
+  observed_ = true;
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    const double p = system.predicted(edges_[e].first, edges_[e].second);
+    min_[e] = std::min(min_[e], p);
+    max_[e] = std::max(max_[e], p);
+  }
+}
+
+std::vector<OscillationTracker::Range> OscillationTracker::ranges(
+    const delayspace::DelayMatrix& matrix) const {
+  std::vector<Range> out;
+  if (!observed_) return out;
+  out.reserve(edges_.size());
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    Range r;
+    r.edge = edges_[e];
+    r.measured_ms = matrix.at(edges_[e].first, edges_[e].second);
+    r.range_ms = max_[e] - min_[e];
+    out.push_back(r);
+  }
+  return out;
+}
+
+void MovementRecorder::record(const std::vector<double>& tick_movement) {
+  movements_.insert(movements_.end(), tick_movement.begin(),
+                    tick_movement.end());
+}
+
+Summary MovementRecorder::speed_summary() const { return summarize(movements_); }
+
+}  // namespace tiv::embedding

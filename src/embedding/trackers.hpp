@@ -1,0 +1,89 @@
+// Observers for a running VivaldiSystem:
+//
+//   EdgeErrorTrace       per-tick signed error of named edges (Fig. 10);
+//   OscillationTracker   max-min range of predicted delays per edge over a
+//                        simulation window (Fig. 11);
+//   MovementRecorder     per-(node, tick) displacement magnitudes — the
+//                        paper's "movement speed per step" statistic.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "delayspace/delay_matrix.hpp"
+#include "embedding/vivaldi.hpp"
+#include "util/stats.hpp"
+
+namespace tiv::embedding {
+
+/// Records (tick, signed error = predicted - measured) per tracked edge.
+class EdgeErrorTrace {
+ public:
+  using Edge = std::pair<delayspace::HostId, delayspace::HostId>;
+
+  explicit EdgeErrorTrace(std::vector<Edge> edges);
+
+  /// Samples the system's current state; call once per tick.
+  void observe(const VivaldiSystem& system);
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  /// Error trace of the e-th tracked edge, one value per observe() call.
+  const std::vector<double>& trace(std::size_t e) const { return traces_[e]; }
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<double>> traces_;
+};
+
+/// Tracks min/max predicted delay per tracked edge; the oscillation range of
+/// an edge is max - min over the observation window.
+class OscillationTracker {
+ public:
+  using Edge = std::pair<delayspace::HostId, delayspace::HostId>;
+
+  /// Tracks the given edges explicitly.
+  explicit OscillationTracker(std::vector<Edge> edges);
+
+  /// Tracks up to max_edges random measured edges of the matrix (all of them
+  /// when the matrix is small enough).
+  OscillationTracker(const delayspace::DelayMatrix& matrix,
+                     std::size_t max_edges, std::uint64_t seed = 99);
+
+  void observe(const VivaldiSystem& system);
+
+  struct Range {
+    Edge edge;
+    double measured_ms = 0.0;  ///< filled by ranges(matrix)
+    double range_ms = 0.0;     ///< max - min predicted over the window
+  };
+
+  /// Oscillation ranges with measured delays attached.
+  std::vector<Range> ranges(const delayspace::DelayMatrix& matrix) const;
+
+  std::size_t edge_count() const { return edges_.size(); }
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<double> min_;
+  std::vector<double> max_;
+  bool observed_ = false;
+};
+
+/// Accumulates every per-node displacement of every tick.
+class MovementRecorder {
+ public:
+  /// Appends the displacement vector returned by VivaldiSystem::tick().
+  void record(const std::vector<double>& tick_movement);
+
+  /// Summary over all (node, tick) displacements (median ~1.6 ms/step and
+  /// 90th percentile ~6.2 ms/step in the paper's DS^2 run).
+  Summary speed_summary() const;
+
+  std::size_t sample_count() const { return movements_.size(); }
+
+ private:
+  std::vector<double> movements_;
+};
+
+}  // namespace tiv::embedding

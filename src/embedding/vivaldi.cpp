@@ -1,0 +1,163 @@
+#include "embedding/vivaldi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tiv::embedding {
+
+using delayspace::HostId;
+
+VivaldiSystem::VivaldiSystem(const delayspace::DelayMatrix& matrix,
+                             const VivaldiParams& params)
+    : matrix_(matrix), params_(params), rng_(params.seed) {
+  const HostId n = matrix.size();
+  if (params_.dimension == 0) {
+    throw std::invalid_argument("VivaldiSystem: dimension must be >= 1");
+  }
+  coords_.reserve(n);
+  for (HostId i = 0; i < n; ++i) {
+    Vec v(params_.dimension);
+    for (std::size_t d = 0; d < params_.dimension; ++d) {
+      v[d] = rng_.uniform(-params_.init_radius, params_.init_radius);
+    }
+    coords_.push_back(std::move(v));
+  }
+  if (params_.use_height) heights_.assign(n, params_.min_height);
+  errors_.assign(n, params_.initial_error);
+  last_movement_.assign(n, 0.0);
+
+  // Random neighbor sets among measurable peers.
+  neighbors_.resize(n);
+  for (HostId i = 0; i < n; ++i) {
+    std::vector<HostId> candidates;
+    candidates.reserve(n - 1);
+    for (HostId j = 0; j < n; ++j) {
+      if (matrix.has(i, j)) candidates.push_back(j);
+    }
+    const auto want = std::min<std::size_t>(params_.neighbors_per_node,
+                                            candidates.size());
+    if (want == candidates.size()) {
+      neighbors_[i] = std::move(candidates);
+    } else {
+      const auto picks = rng_.sample_without_replacement(
+          static_cast<std::uint32_t>(candidates.size()),
+          static_cast<std::uint32_t>(want));
+      neighbors_[i].reserve(want);
+      for (auto p : picks) neighbors_[i].push_back(candidates[p]);
+    }
+  }
+}
+
+void VivaldiSystem::set_neighbors(HostId i, std::vector<HostId> neighbors) {
+  for (HostId j : neighbors) {
+    if (!matrix_.has(i, j)) {
+      throw std::invalid_argument(
+          "VivaldiSystem::set_neighbors: pair has no measurement");
+    }
+  }
+  neighbors_[i] = std::move(neighbors);
+}
+
+void VivaldiSystem::update_node(HostId i, HostId j) {
+  const double rtt = matrix_.at(i, j);
+  if (rtt <= 0.0) return;  // zero-delay pairs carry no spring force
+  const bool height = !heights_.empty();
+  const double euclid = distance(coords_[i], coords_[j]);
+  const double dist =
+      height ? euclid + heights_[i] + heights_[j] : euclid;
+
+  // Confidence-weighted adaptive timestep (Dabek et al. §2.5).
+  const double w = errors_[i] + errors_[j] > 0.0
+                       ? errors_[i] / (errors_[i] + errors_[j])
+                       : 0.5;
+  const double sample_error = std::abs(dist - rtt) / rtt;
+  const double alpha = params_.ce * w;
+  errors_[i] = alpha * sample_error + (1.0 - alpha) * errors_[i];
+
+  // Unit vector from j toward i; random direction when coincident so
+  // coincident nodes can separate. With height vectors the difference
+  // [x_i - x_j, h_i + h_j] has norm euclid + h_i + h_j, and the height
+  // component of the unit vector pushes the node's height up or down with
+  // the same spring force (Dabek et al. §2.6).
+  Vec dir = coords_[i] - coords_[j];
+  const double norm = dir.norm();
+  if (norm > 1e-12) {
+    dir *= 1.0 / norm;
+  } else {
+    for (std::size_t d = 0; d < dir.dim(); ++d) dir[d] = rng_.normal();
+    const double n2 = dir.norm();
+    dir *= n2 > 1e-12 ? 1.0 / n2 : 0.0;
+  }
+  const double delta = params_.cc * w;
+  const double force = delta * (rtt - dist);
+  if (height) {
+    // Share the displacement between the Euclidean part and the height in
+    // proportion to their contribution to the distance. The share is
+    // floored: with Dabek's exact u-vector a height starting near zero
+    // receives ~zero force and can never bootstrap, so a fixed minimum
+    // fraction of the spring force always reaches the height.
+    constexpr double kMinHeightShare = 0.1;
+    const double total = std::max(dist, 1e-9);
+    const double h_share =
+        std::max(kMinHeightShare, (heights_[i] + heights_[j]) / total);
+    const Vec move = force * (1.0 - h_share) * dir;
+    coords_[i] += move;
+    const double h_move = force * h_share;
+    heights_[i] = std::max(params_.min_height, heights_[i] + h_move);
+    last_movement_[i] += move.norm() + std::abs(h_move);
+  } else {
+    const Vec move = force * dir;
+    coords_[i] += move;
+    last_movement_[i] += move.norm();
+  }
+}
+
+const std::vector<double>& VivaldiSystem::tick() {
+  std::fill(last_movement_.begin(), last_movement_.end(), 0.0);
+  for (HostId i = 0; i < size(); ++i) {
+    const auto& nbrs = neighbors_[i];
+    if (nbrs.empty()) continue;
+    update_node(i, nbrs[rng_.uniform_index(nbrs.size())]);
+  }
+  ++ticks_;
+  return last_movement_;
+}
+
+void VivaldiSystem::run(std::uint32_t seconds) {
+  for (std::uint32_t s = 0; s < seconds; ++s) tick();
+}
+
+double VivaldiSystem::prediction_ratio(HostId i, HostId j) const {
+  if (!matrix_.has(i, j)) return std::numeric_limits<double>::quiet_NaN();
+  const double measured = matrix_.at(i, j);
+  if (measured <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return predicted(i, j) / measured;
+}
+
+ErrorAccumulator VivaldiSystem::snapshot_error(std::size_t sample_pairs) const {
+  ErrorAccumulator acc;
+  const HostId n = matrix_.size();
+  if (sample_pairs == 0) {
+    for (HostId i = 0; i < n; ++i) {
+      for (HostId j = i + 1; j < n; ++j) {
+        if (matrix_.has(i, j)) acc.add(predicted(i, j), matrix_.at(i, j));
+      }
+    }
+    return acc;
+  }
+  Rng rng(0xace5);  // fixed: snapshots must be comparable across calls
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < sample_pairs && attempts < sample_pairs * 20) {
+    ++attempts;
+    const auto i = static_cast<HostId>(rng.uniform_index(n));
+    const auto j = static_cast<HostId>(rng.uniform_index(n));
+    if (i == j || !matrix_.has(i, j)) continue;
+    acc.add(predicted(i, j), matrix_.at(i, j));
+    ++added;
+  }
+  return acc;
+}
+
+}  // namespace tiv::embedding

@@ -1,0 +1,115 @@
+// Vivaldi decentralized network coordinates (Dabek et al., SIGCOMM 2004),
+// simulated over a measured delay matrix exactly as the paper's §3/§4/§5
+// experiments do.
+//
+// Each node holds a d-dimensional Euclidean coordinate and a confidence
+// weight. One simulation tick = every node probes one of its neighbors and
+// applies the adaptive spring update. With triangle-inequality-violating
+// inputs the spring system cannot reach zero energy, which manifests as the
+// endless coordinate oscillation the paper quantifies (Figs. 10-11); the
+// trackers in trackers.hpp observe it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "delayspace/delay_matrix.hpp"
+#include "embedding/coords.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace tiv::embedding {
+
+struct VivaldiParams {
+  std::uint32_t dimension = 5;   ///< the paper uses a 5-D Euclidean space
+  double ce = 0.25;              ///< confidence adaptation gain
+  double cc = 0.25;              ///< coordinate adaptation gain
+  std::uint32_t neighbors_per_node = 32;  ///< paper's neighbor-set size
+  double initial_error = 1.0;
+  /// Initial coordinates are uniform in [-init_radius, init_radius]^d; a
+  /// small nonzero radius avoids the all-coincident cold start.
+  double init_radius = 1.0;
+
+  /// Height vectors (Dabek et al. §2.6): each node carries a nonnegative
+  /// height h modelling its access-link delay, and the predicted delay is
+  /// ||x_i - x_j|| + h_i + h_j. Heights absorb the large additive constants
+  /// of satellite/dialup hosts that a plain Euclidean space cannot place.
+  bool use_height = false;
+  double min_height = 0.1;  ///< heights never drop below this (ms)
+
+  std::uint64_t seed = 3;
+};
+
+/// A full-system Vivaldi simulation.
+class VivaldiSystem {
+ public:
+  /// Neighbor sets are sampled uniformly among hosts with a measured delay
+  /// to the node. The matrix reference must outlive the system.
+  VivaldiSystem(const delayspace::DelayMatrix& matrix,
+                const VivaldiParams& params);
+  /// Deleted: the system keeps a reference to the matrix; a temporary would
+  /// dangle.
+  VivaldiSystem(delayspace::DelayMatrix&&, const VivaldiParams&) = delete;
+
+  std::size_t size() const { return coords_.size(); }
+  const VivaldiParams& params() const { return params_; }
+  const delayspace::DelayMatrix& matrix() const { return matrix_; }
+
+  const Vec& coord(delayspace::HostId i) const { return coords_[i]; }
+  double node_error(delayspace::HostId i) const { return errors_[i]; }
+  /// Height of node i (0 when heights are disabled).
+  double height(delayspace::HostId i) const {
+    return heights_.empty() ? 0.0 : heights_[i];
+  }
+
+  const std::vector<delayspace::HostId>& neighbors(
+      delayspace::HostId i) const {
+    return neighbors_[i];
+  }
+  /// Replaces a node's neighbor set (dynamic-neighbor Vivaldi uses this).
+  /// Neighbors without a measured delay are rejected with
+  /// std::invalid_argument.
+  void set_neighbors(delayspace::HostId i,
+                     std::vector<delayspace::HostId> neighbors);
+
+  /// One simulation second: every node probes one random neighbor and
+  /// applies the spring update. Returns the per-node displacement magnitudes
+  /// of this tick (index = host id) — callers aggregate movement-speed
+  /// statistics from it.
+  const std::vector<double>& tick();
+
+  /// Runs `seconds` ticks.
+  void run(std::uint32_t seconds);
+
+  std::uint64_t ticks_elapsed() const { return ticks_; }
+
+  /// Delay estimate between any two nodes: Euclidean distance, plus both
+  /// heights when height vectors are enabled.
+  double predicted(delayspace::HostId i, delayspace::HostId j) const {
+    const double d = distance(coords_[i], coords_[j]);
+    return heights_.empty() ? d : d + heights_[i] + heights_[j];
+  }
+
+  /// predicted / measured — the TIV-alert signal. Returns NaN when the pair
+  /// has no measurement or the measured delay is zero.
+  double prediction_ratio(delayspace::HostId i, delayspace::HostId j) const;
+
+  /// Absolute/relative embedding error over all measured pairs (or a random
+  /// sample of `sample_pairs` pairs when nonzero — the full scan is O(N^2)).
+  ErrorAccumulator snapshot_error(std::size_t sample_pairs = 0) const;
+
+ private:
+  void update_node(delayspace::HostId i, delayspace::HostId j);
+
+  const delayspace::DelayMatrix& matrix_;
+  VivaldiParams params_;
+  std::vector<Vec> coords_;
+  std::vector<double> heights_;  ///< empty unless params_.use_height
+  std::vector<double> errors_;
+  std::vector<std::vector<delayspace::HostId>> neighbors_;
+  std::vector<double> last_movement_;
+  Rng rng_;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace tiv::embedding

@@ -1,0 +1,137 @@
+#include "matfact/ides.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "matfact/nmf.hpp"
+#include "matfact/svd.hpp"
+#include "util/rng.hpp"
+
+namespace tiv::matfact {
+
+using delayspace::HostId;
+
+Ides::Ides(const delayspace::DelayMatrix& matrix, const IdesParams& params)
+    : rank_(params.rank) {
+  const HostId n = matrix.size();
+  if (params.num_landmarks > n) {
+    throw std::invalid_argument("Ides: more landmarks than hosts");
+  }
+  if (params.rank > params.num_landmarks) {
+    throw std::invalid_argument("Ides: rank exceeds landmark count");
+  }
+  const std::size_t l = params.num_landmarks;
+
+  Rng rng(params.seed);
+  const auto picks = rng.sample_without_replacement(
+      n, static_cast<std::uint32_t>(l));
+  landmarks_.assign(picks.begin(), picks.end());
+  std::sort(landmarks_.begin(), landmarks_.end());
+
+  // Landmark-to-landmark delay submatrix; missing entries are patched with
+  // the landmark-set median (rare, and the factorization tolerates it).
+  Matrix d(l, l);
+  std::vector<double> present;
+  for (std::size_t a = 0; a < l; ++a) {
+    for (std::size_t b = 0; b < l; ++b) {
+      if (a != b && matrix.has(landmarks_[a], landmarks_[b])) {
+        const double v = matrix.at(landmarks_[a], landmarks_[b]);
+        d.at(a, b) = v;
+        present.push_back(v);
+      }
+    }
+  }
+  std::nth_element(present.begin(), present.begin() + present.size() / 2,
+                   present.end());
+  const double median =
+      present.empty() ? 0.0 : present[present.size() / 2];
+  for (std::size_t a = 0; a < l; ++a) {
+    for (std::size_t b = 0; b < l; ++b) {
+      if (a != b && !matrix.has(landmarks_[a], landmarks_[b])) {
+        d.at(a, b) = median;
+      }
+    }
+  }
+
+  // Factorize D ~= Xl * Yl^T with rank k.
+  Matrix xl(l, rank_);  // landmark outgoing vectors
+  Matrix yl(l, rank_);  // landmark incoming vectors
+  if (params.method == IdesParams::Method::kSvd) {
+    const SvdResult svd = jacobi_svd(d);
+    // Split the singular values symmetrically: X = U sqrt(S), Y = V sqrt(S).
+    for (std::size_t r = 0; r < l; ++r) {
+      for (std::size_t c = 0; c < rank_; ++c) {
+        const double s = std::sqrt(svd.sigma[c]);
+        xl.at(r, c) = svd.u.at(r, c) * s;
+        yl.at(r, c) = svd.v.at(r, c) * s;
+      }
+    }
+  } else {
+    NmfParams np;
+    np.rank = rank_;
+    np.seed = params.seed ^ 0x5eedULL;
+    const NmfResult f = nmf(d, np);
+    for (std::size_t r = 0; r < l; ++r) {
+      for (std::size_t c = 0; c < rank_; ++c) {
+        xl.at(r, c) = f.w.at(r, c);
+        yl.at(r, c) = f.h.at(c, r);
+      }
+    }
+  }
+
+  // Every host solves two least-squares fits against the landmark vectors:
+  //   out_i : min || Yl * out_i - d(i, landmarks) ||   (outgoing)
+  //   in_i  : min || Xl * in_i  - d(landmarks, i) ||   (incoming)
+  // The matrix is symmetric so both right-hand sides coincide, but we keep
+  // the two fits separate as in IDES (they differ when rows are dropped).
+  out_ = Matrix(n, rank_);
+  in_ = Matrix(n, rank_);
+  for (HostId i = 0; i < n; ++i) {
+    // Landmarks this host can measure.
+    std::vector<std::size_t> rows;
+    for (std::size_t a = 0; a < l; ++a) {
+      if (landmarks_[a] == i || matrix.has(i, landmarks_[a])) {
+        rows.push_back(a);
+      }
+    }
+    if (rows.size() < rank_) {
+      // Too few measurements to fit: fall back to zero vectors (predicts 0).
+      continue;
+    }
+    Matrix ay(rows.size(), rank_);
+    Matrix ax(rows.size(), rank_);
+    std::vector<double> b(rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const std::size_t a = rows[r];
+      b[r] = landmarks_[a] == i ? 0.0 : matrix.at(i, landmarks_[a]);
+      for (std::size_t c = 0; c < rank_; ++c) {
+        ay.at(r, c) = yl.at(a, c);
+        ax.at(r, c) = xl.at(a, c);
+      }
+    }
+    const auto oi = solve_least_squares(ay, b);
+    const auto ii = solve_least_squares(ax, b);
+    for (std::size_t c = 0; c < rank_; ++c) {
+      out_.at(i, c) = oi[c];
+      in_.at(i, c) = ii[c];
+    }
+  }
+  // Landmarks use their factorization vectors directly (exact on D).
+  for (std::size_t a = 0; a < l; ++a) {
+    for (std::size_t c = 0; c < rank_; ++c) {
+      out_.at(landmarks_[a], c) = xl.at(a, c);
+      in_.at(landmarks_[a], c) = yl.at(a, c);
+    }
+  }
+}
+
+double Ides::predicted(HostId i, HostId j) const {
+  double s = 0.0;
+  for (std::size_t c = 0; c < rank_; ++c) {
+    s += out_.at(i, c) * in_.at(j, c);
+  }
+  return std::max(0.0, s);
+}
+
+}  // namespace tiv::matfact

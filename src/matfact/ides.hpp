@@ -1,0 +1,53 @@
+// IDES (Mao & Saul, IMC 2004) — the matrix-factorization coordinate system
+// the paper evaluates as a strawman in §4.2.
+//
+// Each node i carries an outgoing vector x_i and an incoming vector y_i; the
+// predicted delay is the inner product x_i . y_j. Because an inner product
+// is not a metric, IDES *can* represent triangle inequality violations —
+// the question Fig. 15 answers is whether that capacity helps neighbor
+// selection (it does not).
+//
+// Architecture follows the IDES paper: a set of landmark nodes measures the
+// full landmark-to-landmark submatrix, which is factorized (SVD or NMF);
+// every other host then solves two small least-squares problems against the
+// landmark vectors using only its own measurements to the landmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "delayspace/delay_matrix.hpp"
+#include "matfact/matrix.hpp"
+
+namespace tiv::matfact {
+
+struct IdesParams {
+  std::size_t rank = 10;           ///< coordinate dimensionality
+  std::size_t num_landmarks = 32;  ///< landmark set size
+  enum class Method { kSvd, kNmf } method = Method::kSvd;
+  std::uint64_t seed = 23;
+};
+
+class Ides {
+ public:
+  /// Builds coordinates for every host in the matrix. Landmarks are chosen
+  /// uniformly at random. Throws std::invalid_argument when the matrix is
+  /// smaller than the landmark count or rank > num_landmarks.
+  Ides(const delayspace::DelayMatrix& matrix, const IdesParams& params);
+
+  /// Predicted delay x_i . y_j, clamped to >= 0.
+  double predicted(delayspace::HostId i, delayspace::HostId j) const;
+
+  const std::vector<delayspace::HostId>& landmarks() const {
+    return landmarks_;
+  }
+  std::size_t rank() const { return rank_; }
+
+ private:
+  std::size_t rank_;
+  std::vector<delayspace::HostId> landmarks_;
+  Matrix out_;  ///< n x rank outgoing vectors
+  Matrix in_;   ///< n x rank incoming vectors
+};
+
+}  // namespace tiv::matfact

@@ -1,0 +1,104 @@
+#include "matfact/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace tiv::matfact {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), d_(rows * cols, fill) {}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = at(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out.at(r, c) += a * other.at(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+double Matrix::frobenius_distance(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  double ss = 0.0;
+  for (std::size_t i = 0; i < d_.size(); ++i) {
+    const double d = d_[i] - other.d_[i];
+    ss += d * d;
+  }
+  return std::sqrt(ss);
+}
+
+double Matrix::frobenius_norm() const {
+  double ss = 0.0;
+  for (double v : d_) ss += v * v;
+  return std::sqrt(ss);
+}
+
+std::vector<double> solve_linear(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  assert(a.cols() == n && b.size() == n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a.at(r, col)) > std::abs(a.at(pivot, col))) pivot = r;
+    }
+    if (std::abs(a.at(pivot, col)) < 1e-14) {
+      throw std::runtime_error("solve_linear: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a.at(pivot, c), a.at(col, c));
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a.at(r, col) / a.at(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a.at(r, c) -= f * a.at(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t r = n; r-- > 0;) {
+    double s = b[r];
+    for (std::size_t c = r + 1; c < n; ++c) s -= a.at(r, c) * x[c];
+    x[r] = s / a.at(r, r);
+  }
+  return x;
+}
+
+std::vector<double> solve_least_squares(const Matrix& a,
+                                        const std::vector<double>& b,
+                                        double ridge) {
+  assert(a.rows() >= a.cols() && b.size() == a.rows());
+  const std::size_t k = a.cols();
+  Matrix ata(k, k);
+  std::vector<double> atb(k, 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const double ari = a.at(r, i);
+      if (ari == 0.0) continue;
+      atb[i] += ari * b[r];
+      for (std::size_t j = 0; j < k; ++j) ata.at(i, j) += ari * a.at(r, j);
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) ata.at(i, i) += ridge;
+  return solve_linear(std::move(ata), std::move(atb));
+}
+
+}  // namespace tiv::matfact

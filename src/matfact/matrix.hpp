@@ -1,0 +1,52 @@
+// Small dense row-major matrices for the factorization algorithms (IDES
+// landmark matrices are at most a few hundred square; a general BLAS is not
+// warranted).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tiv::matfact {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double at(std::size_t r, std::size_t c) const { return d_[r * cols_ + c]; }
+  double& at(std::size_t r, std::size_t c) { return d_[r * cols_ + c]; }
+
+  Matrix transposed() const;
+
+  /// this * other. Dimension mismatch is a programming error (asserted).
+  Matrix multiply(const Matrix& other) const;
+
+  /// Frobenius norm of (this - other).
+  double frobenius_distance(const Matrix& other) const;
+  double frobenius_norm() const;
+
+  const std::vector<double>& data() const { return d_; }
+  std::vector<double>& data() { return d_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> d_;
+};
+
+/// Solves the square linear system A x = b by Gaussian elimination with
+/// partial pivoting. Throws std::runtime_error when A is (numerically)
+/// singular. A is n-by-n, b has n entries.
+std::vector<double> solve_linear(Matrix a, std::vector<double> b);
+
+/// Solves the least-squares problem min ||A x - b||_2 for tall A (rows >=
+/// cols) via the normal equations with Tikhonov damping `ridge` (keeps the
+/// k-by-k system well-posed even with nearly collinear landmark vectors).
+std::vector<double> solve_least_squares(const Matrix& a,
+                                        const std::vector<double>& b,
+                                        double ridge = 1e-9);
+
+}  // namespace tiv::matfact

@@ -1,0 +1,65 @@
+#include "matfact/nmf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace tiv::matfact {
+
+NmfResult nmf(const Matrix& a_in, const NmfParams& params) {
+  Matrix a = a_in;
+  for (double& v : a.data()) v = std::max(v, 0.0);
+
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t k = params.rank;
+  constexpr double kEps = 1e-9;  // keeps denominators strictly positive
+
+  Rng rng(params.seed);
+  // Scale the random init so W*H starts in the magnitude range of A.
+  double mean = 0.0;
+  for (double v : a.data()) mean += v;
+  mean /= static_cast<double>(a.data().size());
+  const double scale =
+      std::sqrt(std::max(mean, kEps) / static_cast<double>(k));
+
+  NmfResult res;
+  res.w = Matrix(m, k);
+  res.h = Matrix(k, n);
+  for (double& v : res.w.data()) v = scale * rng.uniform(0.1, 1.0);
+  for (double& v : res.h.data()) v = scale * rng.uniform(0.1, 1.0);
+
+  double prev_err = a.frobenius_norm();
+  for (std::size_t it = 0; it < params.max_iters; ++it) {
+    // H <- H .* (W^T A) ./ (W^T W H)
+    {
+      const Matrix wt = res.w.transposed();
+      const Matrix wta = wt.multiply(a);
+      const Matrix wtwh = wt.multiply(res.w).multiply(res.h);
+      for (std::size_t i = 0; i < res.h.data().size(); ++i) {
+        res.h.data()[i] *= wta.data()[i] / (wtwh.data()[i] + kEps);
+      }
+    }
+    // W <- W .* (A H^T) ./ (W H H^T)
+    {
+      const Matrix ht = res.h.transposed();
+      const Matrix aht = a.multiply(ht);
+      const Matrix whht = res.w.multiply(res.h.multiply(ht));
+      for (std::size_t i = 0; i < res.w.data().size(); ++i) {
+        res.w.data()[i] *= aht.data()[i] / (whht.data()[i] + kEps);
+      }
+    }
+    res.iterations = it + 1;
+    const double err = a.frobenius_distance(res.w.multiply(res.h));
+    if (prev_err > 0.0 && (prev_err - err) / prev_err < params.rel_tolerance) {
+      prev_err = err;
+      break;
+    }
+    prev_err = err;
+  }
+  res.final_error = prev_err;
+  return res;
+}
+
+}  // namespace tiv::matfact

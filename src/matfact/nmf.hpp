@@ -1,0 +1,32 @@
+// Non-negative matrix factorization by Lee-Seung multiplicative updates —
+// the alternative factorization backend IDES proposes (delay matrices are
+// non-negative, so NMF-based coordinates can never predict negative delays).
+#pragma once
+
+#include <cstdint>
+
+#include "matfact/matrix.hpp"
+
+namespace tiv::matfact {
+
+struct NmfParams {
+  std::size_t rank = 10;
+  std::size_t max_iters = 200;
+  /// Stop when the relative Frobenius improvement of one iteration drops
+  /// below this.
+  double rel_tolerance = 1e-5;
+  std::uint64_t seed = 17;
+};
+
+struct NmfResult {
+  Matrix w;  ///< rows x rank, non-negative
+  Matrix h;  ///< rank x cols, non-negative
+  double final_error = 0.0;  ///< ||A - WH||_F
+  std::size_t iterations = 0;
+};
+
+/// Factorizes non-negative A ~= W H. Entries of A must be >= 0 (asserted in
+/// debug builds, negative entries clamped to 0 otherwise).
+NmfResult nmf(const Matrix& a, const NmfParams& params = {});
+
+}  // namespace tiv::matfact

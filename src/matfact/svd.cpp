@@ -1,0 +1,107 @@
+#include "matfact/svd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace tiv::matfact {
+
+Matrix SvdResult::reconstruct(std::size_t rank) const {
+  const std::size_t k = rank == 0 ? sigma.size() : std::min(rank, sigma.size());
+  Matrix out(u.rows(), v.rows());
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < u.rows(); ++i) {
+      const double us = u.at(i, c) * sigma[c];
+      if (us == 0.0) continue;
+      for (std::size_t j = 0; j < v.rows(); ++j) {
+        out.at(i, j) += us * v.at(j, c);
+      }
+    }
+  }
+  return out;
+}
+
+SvdResult jacobi_svd(const Matrix& a, double tol, std::size_t max_sweeps) {
+  assert(a.rows() >= a.cols());
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  Matrix u = a;            // working copy; columns are rotated in place
+  Matrix v(n, n);          // accumulated right rotations
+  for (std::size_t i = 0; i < n; ++i) v.at(i, i) = 1.0;
+
+  // One-sided Jacobi: rotate column pairs (p, q) of U until mutually
+  // orthogonal; V accumulates the same rotations.
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double app = 0.0;
+        double aqq = 0.0;
+        double apq = 0.0;
+        for (std::size_t r = 0; r < m; ++r) {
+          const double up = u.at(r, p);
+          const double uq = u.at(r, q);
+          app += up * up;
+          aqq += uq * uq;
+          apq += up * uq;
+        }
+        if (std::abs(apq) <= tol * std::sqrt(app * aqq) || apq == 0.0) {
+          continue;
+        }
+        converged = false;
+        // Jacobi rotation zeroing the (p,q) inner product.
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t r = 0; r < m; ++r) {
+          const double up = u.at(r, p);
+          const double uq = u.at(r, q);
+          u.at(r, p) = c * up - s * uq;
+          u.at(r, q) = s * up + c * uq;
+        }
+        for (std::size_t r = 0; r < n; ++r) {
+          const double vp = v.at(r, p);
+          const double vq = v.at(r, q);
+          v.at(r, p) = c * vp - s * vq;
+          v.at(r, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Singular values are the column norms of the rotated U.
+  SvdResult res;
+  res.sigma.assign(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    double ss = 0.0;
+    for (std::size_t r = 0; r < m; ++r) ss += u.at(r, c) * u.at(r, c);
+    res.sigma[c] = std::sqrt(ss);
+  }
+
+  // Sort descending, permuting U and V columns accordingly.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return res.sigma[x] > res.sigma[y];
+  });
+  Matrix us(m, n);
+  Matrix vs(n, n);
+  std::vector<double> sig(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    const std::size_t src = order[c];
+    sig[c] = res.sigma[src];
+    const double inv = sig[c] > 1e-300 ? 1.0 / sig[c] : 0.0;
+    for (std::size_t r = 0; r < m; ++r) us.at(r, c) = u.at(r, src) * inv;
+    for (std::size_t r = 0; r < n; ++r) vs.at(r, c) = v.at(r, src);
+  }
+  res.u = std::move(us);
+  res.v = std::move(vs);
+  res.sigma = std::move(sig);
+  return res;
+}
+
+}  // namespace tiv::matfact

@@ -1,0 +1,27 @@
+// Singular value decomposition via the one-sided Jacobi method. Chosen over
+// Golub-Kahan because it is compact, numerically robust, and the matrices we
+// decompose (IDES landmark matrices) are small and square-ish, where Jacobi
+// is competitive.
+#pragma once
+
+#include "matfact/matrix.hpp"
+
+namespace tiv::matfact {
+
+struct SvdResult {
+  Matrix u;                     ///< rows x rank, orthonormal columns
+  std::vector<double> sigma;    ///< singular values, descending
+  Matrix v;                     ///< cols x rank, orthonormal columns
+
+  /// Reconstructs U * diag(sigma) * V^T truncated to `rank` components
+  /// (0 = all).
+  Matrix reconstruct(std::size_t rank = 0) const;
+};
+
+/// Computes the thin SVD of a (rows >= cols required; transpose first
+/// otherwise). Sweeps until all column pairs are orthogonal to `tol`
+/// relative accuracy or `max_sweeps` is hit.
+SvdResult jacobi_svd(const Matrix& a, double tol = 1e-12,
+                     std::size_t max_sweeps = 60);
+
+}  // namespace tiv::matfact

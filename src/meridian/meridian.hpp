@@ -1,0 +1,130 @@
+// Meridian (Wong et al., SIGCOMM 2005): closest-neighbor selection by
+// concentric delay rings and recursive online probing, simulated over a
+// measured delay matrix.
+//
+// Each Meridian node organizes other Meridian nodes into rings of
+// exponentially increasing radii — ring i spans [alpha*s^(i-1), alpha*s^i)
+// with at most k members per ring. A "closest node to target T" query
+// measures d(current, T), asks the ring members whose delay to the current
+// node lies within [(1-beta)d, (1+beta)d] to probe T, and forwards the query
+// to the best prober; with the acceptance threshold enabled, the query stops
+// when no member improves on beta*d.
+//
+// Two extension hooks implement the paper's §5.3 TIV-aware variant without a
+// second query engine:
+//   * a delay predictor + (ts, tl) thresholds trigger dual ring placement
+//     for members whose prediction ratio flags a likely severe TIV;
+//   * the same predictor lets a stalled query re-select ring members around
+//     the *predicted* target delay and restart once per hop.
+// An edge filter hook implements the §4.3 severity-filter strawman (edges
+// excluded from ring construction).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "delayspace/delay_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace tiv::meridian {
+
+using delayspace::DelayMatrix;
+using delayspace::HostId;
+
+/// Optional delay predictor (e.g. Vivaldi Euclidean distance). Must return
+/// a nonnegative estimate for any host pair.
+using DelayPredictor = std::function<double(HostId, HostId)>;
+
+/// Optional edge filter: true = the (meridian node, member) edge must not be
+/// used for ring construction.
+using EdgeFilter = std::function<bool(HostId, HostId)>;
+
+struct MeridianParams {
+  double alpha = 1.0;           ///< innermost ring outer radius (ms)
+  double s = 2.0;               ///< multiplicative ring growth factor
+  std::uint32_t num_rings = 11; ///< rings per node (paper's normal setting)
+  std::uint32_t ring_capacity = 16;  ///< k members per ring
+  double beta = 0.5;            ///< acceptance threshold
+  bool use_termination = true;  ///< false = idealized no-termination mode
+
+  /// TIV-alert integration (all optional):
+  DelayPredictor predictor;     ///< delay estimates for the alert mechanism
+  double ts = 0.6;              ///< alert when prediction ratio < ts
+  double tl = 2.0;              ///< or > tl (stretched edges)
+  bool adjust_rings = false;    ///< dual placement of alerted members
+  bool restart_on_alert = false;  ///< predicted-delay query restart
+
+  EdgeFilter edge_filter;       ///< §4.3 strawman: drop edges from rings
+
+  std::uint64_t seed = 5;
+};
+
+/// One entry of a node's ring structure.
+struct RingEntry {
+  HostId member = 0;
+  float placement_delay = 0.0f;  ///< delay used to choose the ring
+  std::uint8_t ring = 0;         ///< 1-based ring index
+};
+
+struct QueryResult {
+  HostId chosen = 0;        ///< closest Meridian node found
+  double chosen_delay = 0;  ///< its measured delay to the target
+  std::uint32_t probes = 0; ///< on-demand delay measurements performed
+  std::uint32_t hops = 0;   ///< query forwarding steps
+  bool restarted = false;   ///< a TIV-alert restart fired during the query
+};
+
+class MeridianOverlay {
+ public:
+  /// Builds ring structures for `nodes` (the Meridian overlay members) over
+  /// the matrix. Ring membership candidates are the other overlay nodes, in
+  /// seeded random order. The matrix must outlive the overlay.
+  MeridianOverlay(const DelayMatrix& matrix, std::vector<HostId> nodes,
+                  const MeridianParams& params);
+  /// Deleted: the overlay keeps a reference to the matrix; a temporary
+  /// would dangle.
+  MeridianOverlay(DelayMatrix&&, std::vector<HostId>, const MeridianParams&) =
+      delete;
+
+  const std::vector<HostId>& nodes() const { return nodes_; }
+  const MeridianParams& params() const { return params_; }
+
+  /// Ring entries of an overlay node (overlay index, not host id).
+  const std::vector<RingEntry>& rings_of(std::size_t overlay_index) const {
+    return rings_[overlay_index];
+  }
+
+  /// Overlay index of a host id, or nullopt if the host is not a Meridian
+  /// node.
+  std::optional<std::size_t> overlay_index(HostId node) const;
+
+  /// Resolves a "closest node to target" query starting at the given
+  /// overlay node. The target may be any host in the matrix.
+  QueryResult find_closest(HostId target, HostId start_node) const;
+
+  /// Convenience: starts at a seeded-random overlay node, as clients do.
+  QueryResult find_closest(HostId target, Rng& rng) const;
+
+  /// The true closest overlay node to the target (brute force) — the
+  /// baseline for percentage-penalty evaluation. Skips nodes without a
+  /// measurement to the target; target itself is skipped too.
+  std::pair<HostId, double> optimal_node(HostId target) const;
+
+  /// Ring occupancy histogram: entries[r] = total members placed in ring r
+  /// across all nodes (1-based; index 0 unused). Used to demonstrate the
+  /// §4.3 ring under-population effect.
+  std::vector<std::size_t> ring_occupancy() const;
+
+ private:
+  std::uint8_t ring_index(double delay) const;
+  void build_rings();
+
+  const DelayMatrix& matrix_;
+  std::vector<HostId> nodes_;
+  MeridianParams params_;
+  std::vector<std::vector<RingEntry>> rings_;  // per overlay node
+};
+
+}  // namespace tiv::meridian

@@ -1,0 +1,105 @@
+#include "meridian/misplacement.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace tiv::meridian {
+namespace {
+
+using delayspace::DelayMatrix;
+using delayspace::HostId;
+
+struct PairResult {
+  double d_ij = 0.0;
+  double misplaced_fraction = 0.0;
+  bool valid = false;
+};
+
+PairResult evaluate_pair(const DelayMatrix& matrix, HostId i, HostId j,
+                         double beta) {
+  PairResult out;
+  if (!matrix.has(i, j)) return out;
+  const double d_ij = matrix.at(i, j);
+  if (d_ij <= 0) return out;
+  const double ball = beta * d_ij;
+  const double lo = (1.0 - beta) * d_ij;
+  const double hi = (1.0 + beta) * d_ij;
+  const auto row_j = matrix.row(j);
+  const auto row_i = matrix.row(i);
+  std::size_t in_ball = 0;
+  std::size_t misplaced = 0;
+  for (HostId k = 0; k < matrix.size(); ++k) {
+    if (k == i || k == j) continue;
+    const float d_jk = row_j[k];
+    if (d_jk < 0.0f || d_jk > ball) continue;
+    ++in_ball;
+    const float d_ik = row_i[k];
+    if (d_ik < 0.0f || d_ik < lo || d_ik > hi) ++misplaced;
+  }
+  if (in_ball == 0) return out;
+  out.d_ij = d_ij;
+  out.misplaced_fraction =
+      static_cast<double>(misplaced) / static_cast<double>(in_ball);
+  out.valid = true;
+  return out;
+}
+
+std::vector<PairResult> evaluate_all(const DelayMatrix& matrix,
+                                     const MisplacementParams& params) {
+  const HostId n = matrix.size();
+  std::vector<std::pair<HostId, HostId>> pairs;
+  if (params.sample_pairs == 0) {
+    pairs.reserve(static_cast<std::size_t>(n) * (n - 1));
+    for (HostId i = 0; i < n; ++i) {
+      for (HostId j = 0; j < n; ++j) {
+        if (i != j) pairs.emplace_back(i, j);
+      }
+    }
+  } else {
+    Rng rng(params.seed);
+    pairs.reserve(params.sample_pairs);
+    std::size_t attempts = 0;
+    while (pairs.size() < params.sample_pairs &&
+           attempts < params.sample_pairs * 20) {
+      ++attempts;
+      const auto i = static_cast<HostId>(rng.uniform_index(n));
+      const auto j = static_cast<HostId>(rng.uniform_index(n));
+      if (i != j && matrix.has(i, j)) pairs.emplace_back(i, j);
+    }
+  }
+  std::vector<PairResult> results(pairs.size());
+  parallel_for(pairs.size(), [&](std::size_t p) {
+    results[p] =
+        evaluate_pair(matrix, pairs[p].first, pairs[p].second, params.beta);
+  });
+  return results;
+}
+
+}  // namespace
+
+std::vector<Bin> misplacement_series(const DelayMatrix& matrix,
+                                     const MisplacementParams& params) {
+  BinnedSeries series(0.0, params.max_delay_ms, params.bin_width_ms);
+  for (const PairResult& r : evaluate_all(matrix, params)) {
+    if (r.valid) series.add(r.d_ij, r.misplaced_fraction);
+  }
+  return series.bins();
+}
+
+double misplacement_fraction(const DelayMatrix& matrix,
+                             const MisplacementParams& params) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const PairResult& r : evaluate_all(matrix, params)) {
+    if (r.valid) {
+      sum += r.misplaced_fraction;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+}  // namespace tiv::meridian

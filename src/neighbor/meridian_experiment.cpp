@@ -1,0 +1,94 @@
+#include "neighbor/meridian_experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace tiv::neighbor {
+
+using delayspace::HostId;
+
+MeridianExperimentResult run_meridian_experiment(
+    const delayspace::DelayMatrix& matrix,
+    const MeridianExperimentParams& params) {
+  if (params.num_meridian_nodes >= matrix.size()) {
+    throw std::invalid_argument(
+        "run_meridian_experiment: overlay must leave room for clients");
+  }
+  MeridianExperimentResult result;
+  std::vector<double> penalties;
+  std::uint64_t optimal_found = 0;
+
+  Rng rng(params.seed);
+  for (std::uint32_t r = 0; r < params.runs; ++r) {
+    const auto picks = rng.sample_without_replacement(
+        matrix.size(), params.num_meridian_nodes);
+    std::vector<HostId> overlay_nodes(picks.begin(), picks.end());
+    std::sort(overlay_nodes.begin(), overlay_nodes.end());
+    meridian::MeridianParams mp = params.meridian;
+    mp.seed = params.seed ^ (0x9e37ULL * (r + 1));
+    const meridian::MeridianOverlay overlay(matrix, overlay_nodes,
+                                            std::move(mp));
+
+    std::vector<bool> is_overlay(matrix.size(), false);
+    for (HostId m : overlay_nodes) is_overlay[m] = true;
+
+    // Pre-draw each client's entry node so queries can run in parallel
+    // with deterministic results.
+    struct ClientQuery {
+      HostId client;
+      HostId start;
+    };
+    std::vector<ClientQuery> queries;
+    for (HostId client = 0; client < matrix.size(); ++client) {
+      if (is_overlay[client]) continue;
+      queries.push_back(
+          {client,
+           overlay_nodes[rng.uniform_index(overlay_nodes.size())]});
+    }
+
+    struct QueryOutcome {
+      double penalty = std::numeric_limits<double>::quiet_NaN();
+      std::uint32_t probes = 0;
+      bool restarted = false;
+      bool optimal = false;
+      bool valid = false;
+    };
+    std::vector<QueryOutcome> outcomes(queries.size());
+    parallel_for(queries.size(), [&](std::size_t q) {
+      const auto [client, start] = queries[q];
+      const auto [opt_node, opt_delay] = overlay.optimal_node(client);
+      if (!std::isfinite(opt_delay) || opt_delay <= 0.0) return;
+      const meridian::QueryResult qr = overlay.find_closest(client, start);
+      QueryOutcome& o = outcomes[q];
+      o.probes = qr.probes;
+      o.restarted = qr.restarted;
+      if (!matrix.has(client, qr.chosen)) return;
+      o.penalty =
+          (matrix.at(client, qr.chosen) - opt_delay) * 100.0 / opt_delay;
+      o.optimal = qr.chosen == opt_node ||
+                  matrix.at(client, qr.chosen) <= opt_delay;
+      o.valid = true;
+    });
+    for (const QueryOutcome& o : outcomes) {
+      result.total_probes += o.probes;
+      if (!o.valid) continue;
+      ++result.total_queries;
+      penalties.push_back(o.penalty);
+      result.restarted_queries += o.restarted;
+      optimal_found += o.optimal;
+    }
+  }
+  result.penalties = Cdf(std::move(penalties));
+  result.fraction_optimal_found =
+      result.total_queries == 0
+          ? 0.0
+          : static_cast<double>(optimal_found) /
+                static_cast<double>(result.total_queries);
+  return result;
+}
+
+}  // namespace tiv::neighbor

@@ -1,0 +1,45 @@
+// Meridian closest-neighbor experiment (paper §4.1): a random subset of
+// hosts forms the Meridian overlay, the rest are clients issuing one
+// "closest overlay node to me" query each from a random entry node. Reports
+// the percentage-penalty CDF cumulated over runs plus probe accounting —
+// the paper's TIV-alert results (Figs. 24-25) hinge on the probe overhead
+// staying within a few percent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "delayspace/delay_matrix.hpp"
+#include "meridian/meridian.hpp"
+#include "util/stats.hpp"
+
+namespace tiv::neighbor {
+
+struct MeridianExperimentParams {
+  std::uint32_t num_meridian_nodes = 2000;
+  std::uint32_t runs = 5;
+  std::uint64_t seed = 99;
+  meridian::MeridianParams meridian;  ///< ring + query configuration
+};
+
+struct MeridianExperimentResult {
+  Cdf penalties;
+  std::uint64_t total_probes = 0;
+  std::uint64_t total_queries = 0;
+  std::uint64_t restarted_queries = 0;
+  double fraction_optimal_found = 0.0;  ///< queries that found the true best
+
+  double probes_per_query() const {
+    return total_queries == 0 ? 0.0
+                              : static_cast<double>(total_probes) /
+                                    static_cast<double>(total_queries);
+  }
+};
+
+/// Runs the experiment. The meridian params (including any TIV-alert
+/// predictor) are shared by all runs; node subsets differ per run.
+MeridianExperimentResult run_meridian_experiment(
+    const delayspace::DelayMatrix& matrix,
+    const MeridianExperimentParams& params);
+
+}  // namespace tiv::neighbor

@@ -1,0 +1,85 @@
+#include "neighbor/selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace tiv::neighbor {
+
+double percentage_penalty(const DelayMatrix& matrix, HostId client,
+                          HostId selected,
+                          const std::vector<HostId>& candidates) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  if (!matrix.has(client, selected)) return kNan;
+  double optimal = std::numeric_limits<double>::infinity();
+  for (HostId c : candidates) {
+    if (c == client || !matrix.has(client, c)) continue;
+    optimal = std::min(optimal, static_cast<double>(matrix.at(client, c)));
+  }
+  if (!std::isfinite(optimal) || optimal <= 0.0) return kNan;
+  const double selected_delay = matrix.at(client, selected);
+  return (selected_delay - optimal) * 100.0 / optimal;
+}
+
+SelectionExperiment::SelectionExperiment(const DelayMatrix& matrix,
+                                         const SelectionParams& params)
+    : matrix_(matrix) {
+  if (params.num_candidates >= matrix.size()) {
+    throw std::invalid_argument(
+        "SelectionExperiment: candidates must leave room for clients");
+  }
+  Rng rng(params.seed);
+  for (std::uint32_t r = 0; r < params.runs; ++r) {
+    const auto picks =
+        rng.sample_without_replacement(matrix.size(), params.num_candidates);
+    std::vector<HostId> set(picks.begin(), picks.end());
+    std::sort(set.begin(), set.end());
+    candidate_sets_.push_back(std::move(set));
+  }
+}
+
+Cdf SelectionExperiment::run_with_chooser(const Chooser& chooser) const {
+  std::vector<double> penalties;
+  for (const auto& candidates : candidate_sets_) {
+    std::vector<bool> is_candidate(matrix_.size(), false);
+    for (HostId c : candidates) is_candidate[c] = true;
+
+    // Clients are independent; evaluate them in parallel per run.
+    std::vector<double> run_penalties(matrix_.size(),
+                                      std::numeric_limits<double>::quiet_NaN());
+    parallel_for(matrix_.size(), [&](std::size_t client) {
+      if (is_candidate[client]) return;
+      const HostId selected =
+          chooser(static_cast<HostId>(client), candidates);
+      run_penalties[client] = percentage_penalty(
+          matrix_, static_cast<HostId>(client), selected, candidates);
+    });
+    for (double p : run_penalties) {
+      if (!std::isnan(p)) penalties.push_back(p);
+    }
+  }
+  return Cdf(std::move(penalties));
+}
+
+Cdf SelectionExperiment::run(const Predictor& predictor) const {
+  return run_with_chooser(
+      [&predictor](HostId client, const std::vector<HostId>& candidates) {
+        HostId best = candidates.front();
+        double best_pred = std::numeric_limits<double>::infinity();
+        for (HostId c : candidates) {
+          if (c == client) continue;
+          const double p = predictor(client, c);
+          if (p < best_pred) {
+            best_pred = p;
+            best = c;
+          }
+        }
+        return best;
+      });
+}
+
+}  // namespace tiv::neighbor

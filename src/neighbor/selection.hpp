@@ -1,0 +1,68 @@
+// Closest-neighbor-selection experiment harness (paper §4.1 methodology).
+//
+// A random subset of hosts act as candidates, every remaining host is a
+// client, and each client selects the candidate its delay-prediction scheme
+// says is nearest. The figure of merit is the percentage penalty
+//
+//   (delay_to_selected - delay_to_optimal) * 100 / delay_to_optimal
+//
+// cumulated over several runs with fresh candidate subsets. All of the
+// paper's §4/§5 CDFs (Figs. 15-18, 23) are instances of this harness with
+// different predictors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "delayspace/delay_matrix.hpp"
+#include "util/stats.hpp"
+
+namespace tiv::neighbor {
+
+using delayspace::DelayMatrix;
+using delayspace::HostId;
+
+/// Estimated delay between two hosts; the experiment selects the candidate
+/// minimizing this.
+using Predictor = std::function<double(HostId, HostId)>;
+
+/// Full custom chooser: returns the selected candidate.
+using Chooser =
+    std::function<HostId(HostId client, const std::vector<HostId>&)>;
+
+struct SelectionParams {
+  std::uint32_t num_candidates = 200;
+  std::uint32_t runs = 5;  ///< fresh random candidate subset each run
+  std::uint64_t seed = 77;
+};
+
+/// Percentage penalty of choosing `selected` instead of the true closest
+/// candidate. Returns NaN when it cannot be evaluated (no measured delay to
+/// the selected candidate, or a zero optimal delay).
+double percentage_penalty(const DelayMatrix& matrix, HostId client,
+                          HostId selected,
+                          const std::vector<HostId>& candidates);
+
+class SelectionExperiment {
+ public:
+  SelectionExperiment(const DelayMatrix& matrix, const SelectionParams& params);
+  /// Deleted: the experiment keeps a reference; a temporary would dangle.
+  SelectionExperiment(DelayMatrix&&, const SelectionParams&) = delete;
+
+  /// Penalties cumulated over all runs, one entry per (run, client) test.
+  Cdf run(const Predictor& predictor) const;
+  Cdf run_with_chooser(const Chooser& chooser) const;
+
+  /// The candidate subsets used (one per run) — exposed so schemes that
+  /// need per-run state (e.g. Meridian overlays) can mirror the splits.
+  const std::vector<std::vector<HostId>>& candidate_sets() const {
+    return candidate_sets_;
+  }
+
+ private:
+  const DelayMatrix& matrix_;
+  std::vector<std::vector<HostId>> candidate_sets_;
+};
+
+}  // namespace tiv::neighbor

@@ -1,0 +1,85 @@
+// Valley-free (Gao-Rexford) interdomain policy routing.
+//
+// BGP route selection and export are modeled faithfully at the AS level:
+//
+//   selection:  customer-learned > peer-learned > provider-learned routes,
+//               then fewest AS hops, then lowest delay (tie-break);
+//   export:     an AS exports its *selected* route to customers always, and
+//               to peers/providers only when that route was learned from a
+//               customer (or is its own prefix).
+//
+// The permitted paths are therefore exactly the valley-free paths
+// (uphill customer->provider steps, at most one peer step, then downhill),
+// and — crucially for this study — the selected path is often much longer
+// than the shortest physical path, because a customer route is preferred
+// over a shorter peer or provider route. Running this protocol over the
+// synthetic topology is what injects realistic triangle inequality
+// violations into the generated delay space.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "topology/as_graph.hpp"
+
+namespace tiv::routing {
+
+/// Which neighbor class a route was learned from (BGP local preference).
+enum class RouteClass : std::uint8_t {
+  kCustomer = 0,  ///< learned from a customer (or own prefix) — most preferred
+  kPeer = 1,
+  kProvider = 2,
+  kNone = 3,  ///< destination unreachable under policy
+};
+
+struct Route {
+  RouteClass cls = RouteClass::kNone;
+  std::uint32_t hops = 0;
+  /// Propagation delay of the selected path (the metric routing optimizes
+  /// after class and hop count).
+  double delay_ms = std::numeric_limits<double>::infinity();
+  /// Experienced delay of the same path including link congestion — what a
+  /// measurement between the endpoints would observe. Routing never
+  /// consults this value.
+  double data_delay_ms = std::numeric_limits<double>::infinity();
+
+  bool reachable() const { return cls != RouteClass::kNone; }
+
+  /// BGP decision order: class, then AS-path length, then delay.
+  bool better_than(const Route& o) const {
+    if (cls != o.cls) return cls < o.cls;
+    if (hops != o.hops) return hops < o.hops;
+    return delay_ms < o.delay_ms;
+  }
+};
+
+/// Computes the selected route from every AS toward one destination.
+/// O(E log V); see the .cpp for the three-phase algorithm.
+std::vector<Route> policy_routes_to(const topology::AsGraph& graph,
+                                    topology::AsId dest);
+
+/// All-pairs policy routing matrix, parallelized over destinations.
+class PolicyRoutingMatrix {
+ public:
+  explicit PolicyRoutingMatrix(const topology::AsGraph& graph);
+
+  /// Selected route from src when the destination is dest.
+  const Route& route(topology::AsId src, topology::AsId dest) const {
+    return to_dest_[dest][src];
+  }
+  double delay(topology::AsId src, topology::AsId dest) const {
+    return route(src, dest).delay_ms;
+  }
+  std::size_t size() const { return to_dest_.size(); }
+
+  /// Fraction of ordered reachable pairs whose selected route has the given
+  /// class — a quick structural sanity check (most routes on a healthy
+  /// hierarchy are provider or peer routes).
+  double class_fraction(RouteClass cls) const;
+
+ private:
+  std::vector<std::vector<Route>> to_dest_;  // [dest][src]
+};
+
+}  // namespace tiv::routing

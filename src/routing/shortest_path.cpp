@@ -1,0 +1,43 @@
+#include "routing/shortest_path.hpp"
+
+#include <queue>
+
+#include "util/parallel.hpp"
+
+namespace tiv::routing {
+
+using topology::AsGraph;
+using topology::AsId;
+
+std::vector<PathInfo> shortest_paths_from(const AsGraph& graph, AsId src) {
+  std::vector<PathInfo> dist(graph.size());
+  using Item = std::pair<double, AsId>;  // (delay, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[src] = {0.0, 0};
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v].delay_ms) continue;  // stale entry
+    for (const auto& adj : graph.adjacent(v)) {
+      // Experienced delay: the best physically achievable path including
+      // congestion, i.e. what an ideal (policy-free, congestion-aware)
+      // routing could deliver.
+      const double nd = d + adj.data_delay_ms;
+      if (nd < dist[adj.neighbor].delay_ms) {
+        dist[adj.neighbor] = {nd, dist[v].hops + 1};
+        pq.emplace(nd, adj.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+ShortestPathMatrix::ShortestPathMatrix(const AsGraph& graph) {
+  rows_.resize(graph.size());
+  parallel_for(graph.size(), [&](std::size_t src) {
+    rows_[src] = shortest_paths_from(graph, static_cast<AsId>(src));
+  });
+}
+
+}  // namespace tiv::routing

@@ -1,0 +1,46 @@
+// Policy-oblivious shortest paths over the AS graph. These are the
+// "speed-of-light" delays the Internet would achieve if routing ignored
+// business relationships; the gap between these and the policy-routing
+// delays is exactly what creates triangle inequality violations.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "topology/as_graph.hpp"
+
+namespace tiv::routing {
+
+struct PathInfo {
+  double delay_ms = std::numeric_limits<double>::infinity();
+  std::uint32_t hops = 0;
+
+  bool reachable() const {
+    return delay_ms != std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Single-source Dijkstra minimizing delay (hops recorded along the chosen
+/// path, used for diagnostics).
+std::vector<PathInfo> shortest_paths_from(const topology::AsGraph& graph,
+                                          topology::AsId src);
+
+/// All-pairs shortest delays, parallelized over sources.
+class ShortestPathMatrix {
+ public:
+  explicit ShortestPathMatrix(const topology::AsGraph& graph);
+
+  double delay(topology::AsId a, topology::AsId b) const {
+    return rows_[a][b].delay_ms;
+  }
+  const PathInfo& info(topology::AsId a, topology::AsId b) const {
+    return rows_[a][b];
+  }
+  std::size_t size() const { return rows_.size(); }
+
+ private:
+  std::vector<std::vector<PathInfo>> rows_;
+};
+
+}  // namespace tiv::routing

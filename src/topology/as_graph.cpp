@@ -1,0 +1,89 @@
+#include "topology/as_graph.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace tiv::topology {
+
+AsGraph::AsGraph(std::vector<AsNode> nodes, std::vector<AsLink> links)
+    : nodes_(std::move(nodes)), links_(std::move(links)) {
+  adj_.resize(nodes_.size());
+  for (const AsLink& l : links_) {
+    if (l.a >= nodes_.size() || l.b >= nodes_.size()) {
+      throw std::out_of_range("AsGraph: link endpoint out of range");
+    }
+    const double data = l.delay_ms * l.congestion;
+    if (l.kind == LinkKind::kCustomerProvider) {
+      adj_[l.a].push_back({l.b, Role::kToProvider, l.delay_ms, data});
+      adj_[l.b].push_back({l.a, Role::kToCustomer, l.delay_ms, data});
+    } else {
+      adj_[l.a].push_back({l.b, Role::kToPeer, l.delay_ms, data});
+      adj_[l.b].push_back({l.a, Role::kToPeer, l.delay_ms, data});
+    }
+  }
+}
+
+std::size_t AsGraph::provider_count(AsId v) const {
+  std::size_t n = 0;
+  for (const auto& a : adj_[v]) n += a.role == Role::kToProvider;
+  return n;
+}
+
+std::size_t AsGraph::customer_count(AsId v) const {
+  std::size_t n = 0;
+  for (const auto& a : adj_[v]) n += a.role == Role::kToCustomer;
+  return n;
+}
+
+std::size_t AsGraph::peer_count(AsId v) const {
+  std::size_t n = 0;
+  for (const auto& a : adj_[v]) n += a.role == Role::kToPeer;
+  return n;
+}
+
+void AsGraph::validate() const {
+  for (const AsLink& l : links_) {
+    if (l.a == l.b) throw std::logic_error("AsGraph: self link");
+    if (!(l.delay_ms > 0)) {
+      throw std::logic_error("AsGraph: non-positive link delay");
+    }
+    if (!(l.congestion >= 1.0)) {
+      throw std::logic_error("AsGraph: congestion multiplier below 1");
+    }
+  }
+  // Customer-provider acyclicity via iterative DFS coloring over
+  // customer->provider edges.
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(nodes_.size(), kWhite);
+  for (AsId start = 0; start < nodes_.size(); ++start) {
+    if (color[start] != kWhite) continue;
+    // Stack holds (node, next adjacency index to explore).
+    std::vector<std::pair<AsId, std::size_t>> stack{{start, 0}};
+    color[start] = kGray;
+    while (!stack.empty()) {
+      auto& [v, idx] = stack.back();
+      bool descended = false;
+      while (idx < adj_[v].size()) {
+        const Adjacency& a = adj_[v][idx++];
+        if (a.role != Role::kToProvider) continue;
+        if (color[a.neighbor] == kGray) {
+          throw std::logic_error(
+              "AsGraph: customer-provider cycle involving AS " +
+              std::to_string(a.neighbor));
+        }
+        if (color[a.neighbor] == kWhite) {
+          color[a.neighbor] = kGray;
+          stack.emplace_back(a.neighbor, 0);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        color[v] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace tiv::topology

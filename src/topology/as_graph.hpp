@@ -1,0 +1,92 @@
+// AS-level Internet topology: nodes are autonomous systems with a geographic
+// position, a tier, and a cluster (continent) id; links carry propagation
+// delays and Gao-Rexford business relationships (customer-provider or
+// peer-peer). The routing module computes valley-free policy paths over this
+// graph; the delayspace module attaches end hosts to it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tiv::topology {
+
+using AsId = std::uint32_t;
+
+enum class Tier : std::uint8_t {
+  kTier1,  ///< global transit core; tier-1s peer in a full mesh
+  kTier2,  ///< regional providers; customers of tier-1s
+  kStub,   ///< edge networks; customers of tier-2s (or tier-1s)
+};
+
+enum class LinkKind : std::uint8_t {
+  kCustomerProvider,  ///< a pays b for transit (a = customer, b = provider)
+  kPeerPeer,          ///< settlement-free peering
+};
+
+struct AsNode {
+  int cluster = 0;  ///< continent index; kNoiseCluster for unclustered nodes
+  Tier tier = Tier::kStub;
+  double x = 0.0;  ///< geographic position (abstract units; see generator)
+  double y = 0.0;
+};
+
+/// Cluster id used for nodes that belong to no major continent cluster
+/// (satellite links, isolated islands) — the paper's "noise cluster".
+inline constexpr int kNoiseCluster = -1;
+
+struct AsLink {
+  AsId a = 0;  ///< customer for kCustomerProvider links
+  AsId b = 0;  ///< provider for kCustomerProvider links
+  LinkKind kind = LinkKind::kPeerPeer;
+  double delay_ms = 0.0;  ///< one-way propagation delay of the link
+  /// Congestion/inefficiency multiplier (>= 1). The *experienced* delay of
+  /// the link is delay_ms * congestion, but BGP route selection only sees
+  /// the propagation delay — real interdomain routing is congestion-
+  /// oblivious, which is one of the mechanisms behind severe TIVs.
+  double congestion = 1.0;
+};
+
+/// How a link looks from one endpoint's perspective.
+enum class Role : std::uint8_t { kToProvider, kToCustomer, kToPeer };
+
+/// One adjacency entry of a node.
+struct Adjacency {
+  AsId neighbor = 0;
+  Role role = Role::kToPeer;
+  double delay_ms = 0.0;       ///< propagation delay (what routing sees)
+  double data_delay_ms = 0.0;  ///< experienced delay (delay_ms * congestion)
+};
+
+/// Immutable AS graph with per-node adjacency lists.
+///
+/// Invariants (checked by validate()): link endpoints are in range and
+/// distinct, delays are positive, and the customer-provider relation is
+/// acyclic (no AS is, transitively, its own provider).
+class AsGraph {
+ public:
+  AsGraph(std::vector<AsNode> nodes, std::vector<AsLink> links);
+
+  std::size_t size() const { return nodes_.size(); }
+  const AsNode& node(AsId v) const { return nodes_[v]; }
+  const std::vector<AsNode>& nodes() const { return nodes_; }
+  const std::vector<AsLink>& links() const { return links_; }
+
+  /// All neighbors of v with the relationship seen from v's side.
+  const std::vector<Adjacency>& adjacent(AsId v) const { return adj_[v]; }
+
+  /// Number of links in which v is the customer / provider / a peer.
+  std::size_t provider_count(AsId v) const;
+  std::size_t customer_count(AsId v) const;
+  std::size_t peer_count(AsId v) const;
+
+  /// Throws std::logic_error when a structural invariant is broken. Intended
+  /// for generator tests; generated graphs always pass.
+  void validate() const;
+
+ private:
+  std::vector<AsNode> nodes_;
+  std::vector<AsLink> links_;
+  std::vector<std::vector<Adjacency>> adj_;
+};
+
+}  // namespace tiv::topology

@@ -1,0 +1,251 @@
+#include "topology/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace tiv::topology {
+namespace {
+
+double dist(const AsNode& a, const AsNode& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double link_delay(const TopologyParams& p, const AsNode& a, const AsNode& b,
+                  Rng& rng) {
+  const double base = p.min_link_delay_ms + p.ms_per_unit * dist(a, b);
+  // Log-normal jitter models circuitous fiber paths and router hops.
+  const double jitter = std::exp(rng.normal(0.0, p.link_delay_sigma));
+  return base * jitter;
+}
+
+/// Picks a provider among `candidates` with probability proportional to
+/// (degree+1)^exp / (distance + bias): well-connected nearby providers win.
+AsId pick_provider(const std::vector<AsId>& candidates,
+                   const std::vector<AsNode>& nodes,
+                   const std::vector<std::size_t>& degree, const AsNode& from,
+                   const TopologyParams& p, Rng& rng) {
+  std::vector<double> weights(candidates.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const AsId c = candidates[i];
+    const double w = std::pow(static_cast<double>(degree[c] + 1), p.pa_exponent) /
+                     (dist(from, nodes[c]) + p.pa_distance_bias);
+    weights[i] = w;
+    total += w;
+  }
+  double r = rng.uniform() * total;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0) return candidates[i];
+  }
+  return candidates.back();
+}
+
+}  // namespace
+
+std::vector<ClusterSpec> default_clusters() {
+  // Mutual center distances: NA-EU ~75, EU-AS ~78, NA-AS ~115 units, i.e.
+  // one-hop propagation delays in the 75-115 ms range at 1 ms/unit.
+  return {
+      {0.0, 0.0, 14.0, 1.0},    // "North America"
+      {75.0, 8.0, 12.0, 0.8},   // "Europe"
+      {115.0, -60.0, 12.0, 0.7},  // "Asia"
+  };
+}
+
+AsGraph generate_topology(const TopologyParams& params) {
+  TopologyParams p = params;
+  if (p.clusters.empty()) p.clusters = default_clusters();
+  if (p.num_ases < p.tier1_per_cluster * p.clusters.size() + p.clusters.size()) {
+    throw std::invalid_argument("generate_topology: too few ASes for tiers");
+  }
+  if (p.tier2_providers_min > p.tier2_providers_max ||
+      p.stub_providers_min > p.stub_providers_max) {
+    throw std::invalid_argument("generate_topology: provider range inverted");
+  }
+  Rng rng(p.seed);
+
+  // --- Node placement -----------------------------------------------------
+  std::vector<AsNode> nodes;
+  nodes.reserve(p.num_ases);
+  const auto noise_count = static_cast<std::uint32_t>(
+      std::lround(p.noise_fraction * p.num_ases));
+  const std::uint32_t clustered_count = p.num_ases - noise_count;
+
+  double weight_total = 0.0;
+  for (const auto& c : p.clusters) weight_total += c.weight;
+
+  // Per-cluster node counts proportional to weight; remainder to cluster 0.
+  std::vector<std::uint32_t> per_cluster(p.clusters.size(), 0);
+  std::uint32_t assigned = 0;
+  for (std::size_t c = 0; c < p.clusters.size(); ++c) {
+    per_cluster[c] = static_cast<std::uint32_t>(
+        clustered_count * p.clusters[c].weight / weight_total);
+    assigned += per_cluster[c];
+  }
+  per_cluster[0] += clustered_count - assigned;
+
+  for (std::size_t c = 0; c < p.clusters.size(); ++c) {
+    const ClusterSpec& spec = p.clusters[c];
+    for (std::uint32_t i = 0; i < per_cluster[c]; ++i) {
+      // Gaussian scatter truncated at the cluster radius keeps density
+      // highest near the metro core.
+      double x = 0.0;
+      double y = 0.0;
+      do {
+        x = rng.normal(0.0, spec.radius / 2.0);
+        y = rng.normal(0.0, spec.radius / 2.0);
+      } while (x * x + y * y > spec.radius * spec.radius);
+      nodes.push_back(
+          {static_cast<int>(c), Tier::kStub, spec.center_x + x,
+           spec.center_y + y});
+    }
+  }
+  // Noise nodes: scattered over the whole map, far from cluster cores
+  // (islands, satellite-connected networks).
+  for (std::uint32_t i = 0; i < noise_count; ++i) {
+    nodes.push_back({kNoiseCluster, Tier::kStub, rng.uniform(-40.0, 160.0),
+                     rng.uniform(-110.0, 60.0)});
+  }
+
+  // --- Tier assignment ----------------------------------------------------
+  // The tier-1s of each cluster are the nodes closest to the cluster center;
+  // tier-2s are sampled among the rest of the cluster.
+  std::vector<std::vector<AsId>> cluster_members(p.clusters.size());
+  for (AsId v = 0; v < nodes.size(); ++v) {
+    if (nodes[v].cluster >= 0) {
+      cluster_members[static_cast<std::size_t>(nodes[v].cluster)].push_back(v);
+    }
+  }
+  std::vector<AsId> tier1s;
+  std::vector<AsId> tier2s;
+  for (std::size_t c = 0; c < p.clusters.size(); ++c) {
+    auto& members = cluster_members[c];
+    const ClusterSpec& spec = p.clusters[c];
+    std::sort(members.begin(), members.end(), [&](AsId a, AsId b) {
+      const double da = std::hypot(nodes[a].x - spec.center_x,
+                                   nodes[a].y - spec.center_y);
+      const double db = std::hypot(nodes[b].x - spec.center_x,
+                                   nodes[b].y - spec.center_y);
+      return da < db;
+    });
+    const std::uint32_t t1 =
+        std::min<std::uint32_t>(p.tier1_per_cluster,
+                                static_cast<std::uint32_t>(members.size()));
+    for (std::uint32_t i = 0; i < t1; ++i) {
+      nodes[members[i]].tier = Tier::kTier1;
+      tier1s.push_back(members[i]);
+    }
+    const auto t2 = static_cast<std::uint32_t>(
+        std::lround(p.tier2_fraction * static_cast<double>(members.size())));
+    for (std::uint32_t i = t1; i < std::min<std::size_t>(t1 + t2, members.size());
+         ++i) {
+      nodes[members[i]].tier = Tier::kTier2;
+      tier2s.push_back(members[i]);
+    }
+  }
+  if (tier1s.empty()) {
+    throw std::invalid_argument("generate_topology: no tier-1 ASes");
+  }
+
+  // --- Links ----------------------------------------------------------------
+  std::vector<AsLink> links;
+  std::vector<std::size_t> degree(nodes.size(), 0);
+  auto congestion_factor = [&](double length) {
+    double prob = p.congested_link_prob;
+    if (length > p.congestion_long_threshold) {
+      prob = std::min(0.6, prob * p.congestion_long_multiplier);
+    }
+    if (!rng.bernoulli(prob)) return 1.0;
+    return std::min(p.congestion_cap,
+                    1.0 + rng.pareto(p.congestion_scale, p.congestion_shape));
+  };
+  auto add_link = [&](AsId a, AsId b, LinkKind kind) {
+    links.push_back({a, b, kind, link_delay(p, nodes[a], nodes[b], rng),
+                     congestion_factor(dist(nodes[a], nodes[b]))});
+    ++degree[a];
+    ++degree[b];
+  };
+
+  // Tier-1 full peering mesh (the default-free zone).
+  for (std::size_t i = 0; i < tier1s.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1s.size(); ++j) {
+      add_link(tier1s[i], tier1s[j], LinkKind::kPeerPeer);
+    }
+  }
+
+  // Tier-2s buy transit from tier-1s (distance-weighted preferential
+  // attachment, multi-homed). A fraction are remote-transit ASes
+  // (multinationals backhauling through headquarters): *all* their transit
+  // comes from tier-1s of a different cluster, so every interdomain path of
+  // their customers hairpins through another continent.
+  for (AsId t2 : tier2s) {
+    const auto want = static_cast<std::uint32_t>(rng.uniform_int(
+        p.tier2_providers_min, p.tier2_providers_max));
+    std::vector<AsId> pool;
+    if (rng.bernoulli(p.remote_transit_prob)) {
+      for (AsId t1 : tier1s) {
+        if (nodes[t1].cluster != nodes[t2].cluster) pool.push_back(t1);
+      }
+    }
+    if (pool.empty()) pool = tier1s;
+    for (std::uint32_t k = 0; k < want && !pool.empty(); ++k) {
+      const AsId prov = pick_provider(pool, nodes, degree, nodes[t2], p, rng);
+      add_link(t2, prov, LinkKind::kCustomerProvider);
+      pool.erase(std::find(pool.begin(), pool.end(), prov));
+    }
+  }
+
+  // Tier-2 regional (and rare transoceanic) peering.
+  for (std::size_t i = 0; i < tier2s.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier2s.size(); ++j) {
+      const bool same =
+          nodes[tier2s[i]].cluster == nodes[tier2s[j]].cluster;
+      const double prob = same ? p.tier2_peering_same_cluster
+                               : p.tier2_peering_cross_cluster;
+      if (rng.bernoulli(prob)) {
+        add_link(tier2s[i], tier2s[j], LinkKind::kPeerPeer);
+      }
+    }
+  }
+
+  // Stubs (everything not tier-1/tier-2, including noise nodes) buy transit
+  // from tier-2s of their own cluster when possible, otherwise from any
+  // tier-2 or tier-1.
+  std::vector<std::vector<AsId>> tier2_by_cluster(p.clusters.size());
+  for (AsId t2 : tier2s) {
+    tier2_by_cluster[static_cast<std::size_t>(nodes[t2].cluster)].push_back(t2);
+  }
+  for (AsId v = 0; v < nodes.size(); ++v) {
+    if (nodes[v].tier != Tier::kStub) continue;
+    const std::vector<AsId>* pool_src = nullptr;
+    if (nodes[v].cluster >= 0 &&
+        !tier2_by_cluster[static_cast<std::size_t>(nodes[v].cluster)].empty()) {
+      pool_src = &tier2_by_cluster[static_cast<std::size_t>(nodes[v].cluster)];
+    } else if (!tier2s.empty()) {
+      pool_src = &tier2s;
+    } else {
+      pool_src = &tier1s;
+    }
+    std::vector<AsId> pool = *pool_src;
+    const auto want = std::min<std::uint32_t>(
+        static_cast<std::uint32_t>(
+            rng.uniform_int(p.stub_providers_min, p.stub_providers_max)),
+        static_cast<std::uint32_t>(pool.size()));
+    for (std::uint32_t k = 0; k < want; ++k) {
+      const AsId prov = pick_provider(pool, nodes, degree, nodes[v], p, rng);
+      add_link(v, prov, LinkKind::kCustomerProvider);
+      pool.erase(std::find(pool.begin(), pool.end(), prov));
+    }
+  }
+
+  AsGraph g(std::move(nodes), std::move(links));
+  g.validate();
+  return g;
+}
+
+}  // namespace tiv::topology

@@ -1,0 +1,109 @@
+// Synthetic AS-level topology generator.
+//
+// The generated Internet has the coarse structure the DS^2 study [35]
+// observed in measured delay spaces: a small number of major geographic
+// clusters (continents) plus a noise cluster of poorly-connected outliers.
+// Within each cluster, tier-2 regional providers attach to the tier-1 core
+// with distance-weighted preferential attachment, and stub (edge) ASes
+// multi-home to nearby tier-2s. Tier-1s form a full peering mesh; tier-2s
+// peer regionally with a configurable probability — the *scarcity* of
+// regional peering is the main knob controlling how severe the triangle
+// inequality violations become once valley-free routing is applied.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/as_graph.hpp"
+#include "util/rng.hpp"
+
+namespace tiv::topology {
+
+/// One geographic cluster (continent).
+struct ClusterSpec {
+  double center_x = 0.0;
+  double center_y = 0.0;
+  double radius = 15.0;   ///< ASes are placed within this radius (units)
+  double weight = 1.0;    ///< relative share of ASes assigned to the cluster
+};
+
+struct TopologyParams {
+  std::uint32_t num_ases = 300;
+
+  /// Continents. Defaults (see default_clusters()) place three clusters at
+  /// mutual distances of 70-100 units, i.e. 70-100 ms one-hop propagation.
+  std::vector<ClusterSpec> clusters;
+
+  /// Fraction of ASes placed far from every cluster (the noise cluster).
+  double noise_fraction = 0.04;
+
+  std::uint32_t tier1_per_cluster = 2;
+  /// Fraction of the remaining ASes that become tier-2 regional providers.
+  double tier2_fraction = 0.22;
+
+  /// Propagation delay per geographic unit (speed-of-light scale).
+  double ms_per_unit = 1.0;
+  /// Router/serialization floor added to every link.
+  double min_link_delay_ms = 0.4;
+  /// Multiplicative log-normal jitter applied to link delays (sigma).
+  double link_delay_sigma = 0.12;
+
+  /// Number of providers for each tier-2 (multi-homing degree is sampled
+  /// uniformly in [min,max]).
+  std::uint32_t tier2_providers_min = 1;
+  std::uint32_t tier2_providers_max = 2;
+  std::uint32_t stub_providers_min = 1;
+  std::uint32_t stub_providers_max = 2;
+
+  /// Probability that two tier-2s in the same cluster peer. Low values
+  /// force intra-continent traffic through the tier-1 core, producing the
+  /// severe local TIVs of the paper's 5/5/100 ms example.
+  double tier2_peering_same_cluster = 0.12;
+  /// Probability that two tier-2s in different clusters peer (rare;
+  /// models private transoceanic peering that creates shortcut paths).
+  double tier2_peering_cross_cluster = 0.015;
+
+  /// Preferential-attachment strength: provider choice weight is
+  /// (degree + 1)^pa_exponent / (distance + pa_distance_bias).
+  double pa_exponent = 1.0;
+  double pa_distance_bias = 5.0;
+
+  /// Probability that a tier-2 buys (one of its) transit from a tier-1 in a
+  /// *different* cluster — multinational backhaul. All traffic of its
+  /// customers then hairpins through a remote continent, one of the classic
+  /// structural sources of severe TIVs (an intra-metro pair can measure
+  /// 150+ ms while every third node offers a few-ms detour).
+  double remote_transit_prob = 0.05;
+
+  /// Fraction of links carrying persistent congestion. Congested links get
+  /// an experienced-delay multiplier of 1 + Pareto(congestion_scale,
+  /// congestion_shape), capped at congestion_cap. BGP never sees this —
+  /// route selection uses propagation delay only — so congestion inflates
+  /// the chosen path relative to detours.
+  double congested_link_prob = 0.05;
+  double congestion_scale = 0.30;
+  double congestion_shape = 0.9;  ///< shape < 1: very heavy tail
+  double congestion_cap = 14.0;
+  /// Long-haul links congest more often than metro links (transoceanic
+  /// capacity is scarce): links longer than congestion_long_threshold units
+  /// use congested_link_prob * congestion_long_multiplier (capped at 0.6).
+  /// This is what gives cross-cluster edges the higher TIV severity the
+  /// paper observes in Fig. 3.
+  double congestion_long_threshold = 30.0;
+  double congestion_long_multiplier = 2.0;
+
+  std::uint64_t seed = 1;
+};
+
+/// Three continental clusters roughly matching North America / Europe /
+/// Asia inter-continent propagation delays.
+std::vector<ClusterSpec> default_clusters();
+
+/// Builds a topology honouring TopologyParams. The result always passes
+/// AsGraph::validate(): tier hierarchy is acyclic and every AS can reach the
+/// tier-1 core through providers, so valley-free routing connects all pairs.
+/// Throws std::invalid_argument for unsatisfiable parameters (e.g. fewer
+/// ASes than tier-1s).
+AsGraph generate_topology(const TopologyParams& params);
+
+}  // namespace tiv::topology

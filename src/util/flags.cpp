@@ -1,0 +1,101 @@
+#include "util/flags.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tiv {
+namespace {
+
+bool looks_like_flag(const std::string& s) {
+  return s.size() > 2 && s[0] == '-' && s[1] == '-';
+}
+
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv) {
+  if (argc > 0) program_name_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!looks_like_flag(arg)) {
+      throw std::invalid_argument("expected --flag, got: " + arg);
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--key value" when the next token is not itself a flag; otherwise a
+    // bare boolean.
+    if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  consumed_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& def) const {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name +
+                                " expects an integer, got: " + it->second);
+  }
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name +
+                                " expects a number, got: " + it->second);
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("flag --" + name +
+                              " expects a boolean, got: " + v);
+}
+
+std::vector<std::string> Flags::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) {
+    if (!consumed_.count(k)) out.push_back(k);
+  }
+  return out;
+}
+
+void reject_unknown_flags(const Flags& flags) {
+  const auto unknown = flags.unconsumed();
+  if (unknown.empty()) return;
+  std::string msg = "unknown flag(s):";
+  for (const auto& name : unknown) msg += " --" + name;
+  throw std::invalid_argument(msg);
+}
+
+}  // namespace tiv

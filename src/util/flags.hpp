@@ -1,0 +1,47 @@
+// Tiny command-line flag parser shared by the benchmark and example binaries.
+// Supports --key=value, --key value, and bare boolean --key forms. Unknown
+// flags are an error so typos in experiment sweeps fail loudly instead of
+// silently running the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tiv {
+
+class Flags {
+ public:
+  /// Parses argv. Throws std::invalid_argument on malformed input (e.g.
+  /// "--" prefix missing, or a value flag at the end without a value).
+  Flags(int argc, const char* const* argv);
+
+  /// True if the flag was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  /// Bare "--name" and "--name=true/1/yes" are true; "--name=false/0/no" is
+  /// false. Throws on other values.
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Names that were parsed but never queried — call at the end of main to
+  /// reject typos. Returns the unknown names.
+  std::vector<std::string> unconsumed() const;
+
+  const std::string& program_name() const { return program_name_; }
+
+ private:
+  std::string program_name_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+/// Throws std::invalid_argument listing any flag that was never queried.
+void reject_unknown_flags(const Flags& flags);
+
+}  // namespace tiv

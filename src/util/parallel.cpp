@@ -1,0 +1,59 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace tiv {
+namespace {
+
+std::atomic<std::size_t> g_thread_override{0};
+
+std::size_t hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+}  // namespace
+
+std::size_t parallel_thread_count() {
+  const std::size_t o = g_thread_override.load(std::memory_order_relaxed);
+  return o != 0 ? o : hardware_threads();
+}
+
+void set_parallel_thread_count(std::size_t n) {
+  g_thread_override.store(n, std::memory_order_relaxed);
+}
+
+void parallel_for_chunks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t workers = std::min(parallel_thread_count(), n);
+  if (workers <= 1) {
+    body(0, n);
+    return;
+  }
+  // Static contiguous partition: iterations in this codebase are uniform
+  // enough (rows of a matrix) that work stealing would not pay for itself.
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(begin + chunk, n);
+    if (begin >= end) break;
+    threads.emplace_back([&body, begin, end] { body(begin, end); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(n, [&body](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+}  // namespace tiv

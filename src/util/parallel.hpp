@@ -1,0 +1,33 @@
+// Minimal data-parallel loop used by the O(N^3) TIV-severity analyzer and the
+// delay-space generators. A full task system is unnecessary: every parallel
+// section in this codebase is a single balanced loop over independent rows.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace tiv {
+
+/// Number of worker threads parallel_for will use (>= 1).
+std::size_t parallel_thread_count();
+
+/// Overrides the worker count; 0 restores the hardware default. Intended for
+/// tests and for benchmarks that want single-threaded baselines.
+void set_parallel_thread_count(std::size_t n);
+
+/// Runs body(i) for every i in [0, n), distributing iterations over worker
+/// threads in contiguous chunks. Blocks until all iterations complete.
+///
+/// body must be safe to invoke concurrently for distinct i. Exceptions thrown
+/// by body terminate the process (the analyzer loops are noexcept in
+/// practice; propagating the first exception would add complexity with no
+/// consumer).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+/// Chunked variant: body(begin, end) is called on contiguous ranges. Lower
+/// dispatch overhead for very cheap per-iteration work.
+void parallel_for_chunks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace tiv

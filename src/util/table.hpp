@@ -1,0 +1,43 @@
+// Aligned-column table printing for the figure-regeneration benches. Every
+// bench prints the same rows/series the paper's figure plots, as plain text
+// (and optionally CSV) so runs can be diffed and re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tiv {
+
+/// Accumulates rows of stringified cells and prints them with padded,
+/// left-aligned columns. Cell counts may vary per row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::vector<double>& cells, int precision = 4);
+
+  /// Pretty text with a header underline.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated (no quoting — cells in this codebase never contain
+  /// commas).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision, trimming to "-" for NaN.
+std::string format_double(double v, int precision = 4);
+
+/// Prints an "=== title ===" section banner used by the bench binaries.
+void print_section(std::ostream& os, const std::string& title);
+
+}  // namespace tiv

@@ -1,0 +1,140 @@
+// TIV alert: thresholding, accuracy/recall evaluation, and the shrinkage
+// signal end-to-end.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/alert.hpp"
+#include "delayspace/generate.hpp"
+
+namespace tiv::core {
+namespace {
+
+TEST(TivAlert, ThresholdLogic) {
+  const TivAlert alert(
+      [](HostId a, HostId b) { return a == 0 && b == 1 ? 0.3 : 1.2; }, 0.6);
+  EXPECT_TRUE(alert.alerted(0, 1));
+  EXPECT_FALSE(alert.alerted(1, 2));
+  EXPECT_DOUBLE_EQ(alert.ratio(0, 1), 0.3);
+}
+
+TEST(TivAlert, NanRatioNeverAlerts) {
+  const TivAlert alert(
+      [](HostId, HostId) { return std::nan(""); }, 0.6);
+  EXPECT_FALSE(alert.alerted(0, 1));
+}
+
+std::vector<EdgeRatioSample> crafted_samples() {
+  // 10 samples; severities 9,8,...,0; ratios perfectly anti-correlated
+  // (ratio = (9 - severity) / 10 + 0.05).
+  std::vector<EdgeRatioSample> s;
+  for (int i = 0; i < 10; ++i) {
+    EdgeRatioSample e;
+    e.a = 0;
+    e.b = static_cast<HostId>(i + 1);
+    e.severity = 9.0 - i;
+    e.ratio = static_cast<double>(i) / 10.0 + 0.05;
+    s.push_back(e);
+  }
+  return s;
+}
+
+TEST(EvaluateAlert, PerfectPredictorHandComputed) {
+  const auto samples = crafted_samples();
+  // threshold 0.30 alerts samples with ratio 0.05, 0.15, 0.25: the three
+  // highest severities. worst_fraction 0.3 -> worst set = 3 samples.
+  const AlertMetrics m = evaluate_alert(samples, 0.3, 0.30);
+  EXPECT_EQ(m.alerts, 3u);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST(EvaluateAlert, TightThresholdHighAccuracyLowRecall) {
+  const auto samples = crafted_samples();
+  // threshold 0.1 alerts only the single worst sample; worst set of 30%
+  // has 3 members -> accuracy 1, recall 1/3.
+  const AlertMetrics m = evaluate_alert(samples, 0.3, 0.10);
+  EXPECT_EQ(m.alerts, 1u);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_NEAR(m.recall, 1.0 / 3.0, 1e-12);
+}
+
+TEST(EvaluateAlert, LooseThresholdFullRecallLowerAccuracy) {
+  const auto samples = crafted_samples();
+  // threshold 1.0 alerts everything: recall 1, accuracy = worst fraction.
+  const AlertMetrics m = evaluate_alert(samples, 0.3, 1.0);
+  EXPECT_EQ(m.alerts, 10u);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_NEAR(m.accuracy, 0.3, 1e-12);
+}
+
+TEST(EvaluateAlert, RecallMonotoneInThreshold) {
+  const auto samples = crafted_samples();
+  double prev = -1.0;
+  for (double t = 0.05; t <= 1.0; t += 0.1) {
+    const AlertMetrics m = evaluate_alert(samples, 0.2, t);
+    EXPECT_GE(m.recall, prev);
+    prev = m.recall;
+  }
+}
+
+TEST(EvaluateAlert, EmptyAndDegenerateInputs) {
+  EXPECT_EQ(evaluate_alert({}, 0.1, 0.5).alerts, 0u);
+  const auto samples = crafted_samples();
+  EXPECT_EQ(evaluate_alert(samples, 0.0, 0.5).alerts, 0u);
+  // Threshold 0: nothing alerted, accuracy degenerates to 0.
+  const AlertMetrics none = evaluate_alert(samples, 0.3, 0.0);
+  EXPECT_EQ(none.alerts, 0u);
+  EXPECT_DOUBLE_EQ(none.accuracy, 0.0);
+}
+
+TEST(EvaluateAlert, NanRatiosAreNeverAlerted) {
+  auto samples = crafted_samples();
+  samples[0].ratio = std::nan("");  // the most severe sample becomes mute
+  const AlertMetrics m = evaluate_alert(samples, 0.3, 1.0);
+  EXPECT_EQ(m.alerts, 9u);
+  EXPECT_NEAR(m.recall, 2.0 / 3.0, 1e-12);
+}
+
+TEST(AlertEndToEnd, ShrinkageSignalBeatsChance) {
+  // On a generated delay space, alerts at a tight threshold must
+  // concentrate on genuinely severe edges far beyond the base rate.
+  delayspace::DelaySpaceParams p;
+  p.topology.num_ases = 80;
+  p.topology.seed = 51;
+  p.hosts.num_hosts = 300;
+  p.hosts.seed = 52;
+  const auto ds = delayspace::generate_delay_space(p);
+  embedding::VivaldiParams vp;
+  vp.seed = 3;
+  embedding::VivaldiSystem vivaldi(ds.measured, vp);
+  vivaldi.run(300);
+  const auto samples = collect_ratio_severity_samples(vivaldi, 3000, 11);
+  const AlertMetrics m = evaluate_alert(samples, 0.10, 0.5);
+  // Random flagging would have accuracy ~0.10; the alert must do much
+  // better.
+  EXPECT_GT(m.accuracy, 0.3);
+  EXPECT_GT(m.alerts, 10u);
+}
+
+TEST(CollectSamples, RatiosMatchSystem) {
+  delayspace::DelaySpaceParams p;
+  p.topology.num_ases = 50;
+  p.topology.seed = 53;
+  p.hosts.num_hosts = 80;
+  p.hosts.seed = 54;
+  const auto ds = delayspace::generate_delay_space(p);
+  embedding::VivaldiParams vp;
+  embedding::VivaldiSystem vivaldi(ds.measured, vp);
+  vivaldi.run(50);
+  const auto samples = collect_ratio_severity_samples(vivaldi, 100, 13);
+  ASSERT_EQ(samples.size(), 100u);
+  const TivAnalyzer analyzer(ds.measured);
+  for (const auto& s : samples) {
+    EXPECT_DOUBLE_EQ(s.ratio, vivaldi.prediction_ratio(s.a, s.b));
+    EXPECT_NEAR(s.severity, analyzer.edge_severity(s.a, s.b), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tiv::core

@@ -1,0 +1,128 @@
+#include "delayspace/clustering.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "delayspace/generate.hpp"
+
+namespace tiv::delayspace {
+namespace {
+
+/// Two obvious blobs: nodes 0-4 mutually 10 ms apart, nodes 5-9 mutually
+/// 10 ms, 200 ms across.
+DelayMatrix two_blob_matrix() {
+  DelayMatrix m(10);
+  for (HostId i = 0; i < 10; ++i) {
+    for (HostId j = i + 1; j < 10; ++j) {
+      const bool same = (i < 5) == (j < 5);
+      m.set(i, j, same ? 10.0f : 200.0f);
+    }
+  }
+  return m;
+}
+
+TEST(Clustering, RecoversTwoBlobs) {
+  const Clustering c = cluster_delay_space(two_blob_matrix(), {});
+  ASSERT_EQ(c.num_clusters(), 2u);
+  EXPECT_EQ(c.members[0].size(), 5u);
+  EXPECT_EQ(c.members[1].size(), 5u);
+  EXPECT_TRUE(c.noise.empty());
+  // All of 0-4 share a cluster; none of them share with 5-9.
+  for (HostId i = 0; i < 5; ++i) {
+    EXPECT_TRUE(c.same_cluster(0, i));
+    EXPECT_FALSE(c.same_cluster(i, 9));
+  }
+}
+
+TEST(Clustering, MaxClustersRespected) {
+  ClusteringParams p;
+  p.max_clusters = 1;
+  const Clustering c = cluster_delay_space(two_blob_matrix(), p);
+  EXPECT_EQ(c.num_clusters(), 1u);
+  EXPECT_EQ(c.noise.size(), 5u);
+}
+
+TEST(Clustering, SmallClustersBecomeNoise) {
+  // 8 close nodes + 2 isolated outliers.
+  DelayMatrix m(10);
+  for (HostId i = 0; i < 10; ++i) {
+    for (HostId j = i + 1; j < 10; ++j) {
+      const bool core = i < 8 && j < 8;
+      m.set(i, j, core ? 10.0f : 500.0f);
+    }
+  }
+  ClusteringParams p;
+  p.min_major_fraction = 0.3;  // a 2-node cluster is not major
+  const Clustering c = cluster_delay_space(m, p);
+  EXPECT_EQ(c.num_clusters(), 1u);
+  EXPECT_EQ(c.members[0].size(), 8u);
+  EXPECT_EQ(c.noise.size(), 2u);
+  EXPECT_EQ(c.assignment[9], -1);
+}
+
+TEST(Clustering, GroupedOrderIsPermutation) {
+  const Clustering c = cluster_delay_space(two_blob_matrix(), {});
+  auto order = c.grouped_order();
+  EXPECT_EQ(order.size(), 10u);
+  std::sort(order.begin(), order.end());
+  for (HostId i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Clustering, LargestClusterFirst) {
+  // 6-node blob and 4-node blob.
+  DelayMatrix m(10);
+  for (HostId i = 0; i < 10; ++i) {
+    for (HostId j = i + 1; j < 10; ++j) {
+      const bool same = (i < 6) == (j < 6);
+      m.set(i, j, same ? 10.0f : 300.0f);
+    }
+  }
+  const Clustering c = cluster_delay_space(m, {});
+  ASSERT_EQ(c.num_clusters(), 2u);
+  EXPECT_GT(c.members[0].size(), c.members[1].size());
+}
+
+TEST(Clustering, MissingMeasurementsCountAsFar) {
+  DelayMatrix m(4);
+  m.set(0, 1, 5.0f);
+  m.set(2, 3, 5.0f);
+  // 0-2, 0-3, 1-2, 1-3 missing entirely.
+  ClusteringParams p;
+  p.min_major_fraction = 0.4;
+  const Clustering c = cluster_delay_space(m, p);
+  // Each pair forms its own 2-node cluster; they never merge through
+  // missing entries.
+  EXPECT_EQ(c.num_clusters(), 2u);
+}
+
+TEST(Clustering, RecoversGeneratorGroundTruth) {
+  DelaySpaceParams params;
+  params.topology.num_ases = 80;
+  params.topology.seed = 9;
+  params.hosts.num_hosts = 250;
+  params.hosts.seed = 10;
+  const DelaySpace ds = generate_delay_space(params);
+  const Clustering c = cluster_delay_space(ds.measured, {});
+  EXPECT_GE(c.num_clusters(), 2u);
+  const double agreement = rand_index(c, ds.host_cluster);
+  EXPECT_GT(agreement, 0.85);
+}
+
+TEST(RandIndex, PerfectAndWorstCase) {
+  Clustering c;
+  c.assignment = {0, 0, 1, 1};
+  c.members = {{0, 1}, {2, 3}};
+  EXPECT_DOUBLE_EQ(rand_index(c, {0, 0, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(rand_index(c, {5, 5, 5, 5}),
+                   2.0 / 6.0);  // only the two within-pairs agree
+}
+
+TEST(RandIndex, NoiseLabelsAreNeverSameCluster) {
+  Clustering c;
+  c.assignment = {-1, -1};
+  EXPECT_DOUBLE_EQ(rand_index(c, {-1, -1}), 1.0);  // both say "not same"
+}
+
+}  // namespace
+}  // namespace tiv::delayspace

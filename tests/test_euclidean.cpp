@@ -1,0 +1,79 @@
+// Euclidean control matrices: the TIV-free baseline input for Fig. 14.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/severity.hpp"
+#include "delayspace/euclidean.hpp"
+
+namespace tiv::delayspace {
+namespace {
+
+TEST(Euclidean, RespectsSizeAndPositivity) {
+  EuclideanParams p;
+  p.num_hosts = 60;
+  const DelayMatrix m = euclidean_matrix(p);
+  EXPECT_EQ(m.size(), 60u);
+  for (HostId i = 0; i < m.size(); ++i) {
+    for (HostId j = i + 1; j < m.size(); ++j) {
+      EXPECT_GT(m.at(i, j), 0.0f);
+    }
+  }
+}
+
+TEST(Euclidean, SatisfiesTriangleInequality) {
+  EuclideanParams p;
+  p.num_hosts = 50;
+  const DelayMatrix m = euclidean_matrix(p);
+  for (HostId a = 0; a < m.size(); ++a) {
+    for (HostId b = a + 1; b < m.size(); ++b) {
+      for (HostId c = b + 1; c < m.size(); ++c) {
+        // Float rounding tolerance.
+        EXPECT_GE(m.at(a, b) + m.at(b, c), m.at(a, c) * 0.999f);
+        EXPECT_GE(m.at(a, b) + m.at(a, c), m.at(b, c) * 0.999f);
+        EXPECT_GE(m.at(a, c) + m.at(b, c), m.at(a, b) * 0.999f);
+      }
+    }
+  }
+}
+
+TEST(Euclidean, NoSevereTivSeverity) {
+  EuclideanParams p;
+  p.num_hosts = 80;
+  const DelayMatrix m = euclidean_matrix(p);
+  const core::TivAnalyzer analyzer(m);
+  // Rounding can create epsilon violations; severity must stay negligible.
+  const auto samples = analyzer.sampled_severities(500);
+  for (const auto& [edge, sev] : samples) EXPECT_LT(sev, 0.01);
+}
+
+TEST(Euclidean, DeterministicAndSeedSensitive) {
+  EuclideanParams p;
+  p.num_hosts = 30;
+  const DelayMatrix a = euclidean_matrix(p);
+  const DelayMatrix b = euclidean_matrix(p);
+  EXPECT_TRUE(a == b);
+  p.seed ^= 0x1234;
+  const DelayMatrix c = euclidean_matrix(p);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Euclidean, ScaleMatchesSideLength) {
+  EuclideanParams p;
+  p.num_hosts = 200;
+  p.side_ms = 100.0;
+  p.dimension = 3;
+  const DelayMatrix m = euclidean_matrix(p);
+  double max_d = 0.0;
+  for (HostId i = 0; i < m.size(); ++i) {
+    for (HostId j = i + 1; j < m.size(); ++j) {
+      max_d = std::max(max_d, static_cast<double>(m.at(i, j)));
+    }
+  }
+  // Diameter of the cube is side * sqrt(dim).
+  EXPECT_LT(max_d, 100.0 * std::sqrt(3.0) + 1e-6);
+  EXPECT_GT(max_d, 80.0);
+}
+
+}  // namespace
+}  // namespace tiv::delayspace

@@ -1,0 +1,118 @@
+// Height-vector Vivaldi (Dabek et al. §2.6).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "delayspace/generate.hpp"
+#include "embedding/vivaldi.hpp"
+
+namespace tiv::embedding {
+namespace {
+
+using delayspace::DelayMatrix;
+using delayspace::HostId;
+
+/// Grid-with-constants: nodes on a 2-D grid; the first kSatellites hosts
+/// each add 200 ms of access delay to every measurement (additive per
+/// endpoint, so a satellite-satellite edge carries 400 ms). One such
+/// constant can be faked by placing the node far away in the plane; four
+/// mutually-conflicting constants cannot, while four heights absorb them
+/// exactly.
+constexpr HostId kSatellites = 4;
+
+DelayMatrix satellite_matrix() {
+  constexpr int kGrid = 5;  // 25 hosts at 20 ms spacing
+  DelayMatrix m(kGrid * kGrid);
+  auto pos = [](HostId h) {
+    return std::pair<double, double>{20.0 * (h % kGrid), 20.0 * (h / kGrid)};
+  };
+  for (HostId i = 0; i < m.size(); ++i) {
+    for (HostId j = i + 1; j < m.size(); ++j) {
+      const auto [xi, yi] = pos(i);
+      const auto [xj, yj] = pos(j);
+      double d = std::hypot(xi - xj, yi - yj);
+      if (i < kSatellites) d += 200.0;
+      if (j < kSatellites) d += 200.0;
+      m.set(i, j, static_cast<float>(std::max(d, 0.1)));
+    }
+  }
+  return m;
+}
+
+VivaldiParams height_params(bool height) {
+  VivaldiParams p;
+  p.dimension = 2;
+  p.seed = 7;
+  p.use_height = height;
+  return p;
+}
+
+TEST(HeightVivaldi, HeightsStayAboveMinimum) {
+  const DelayMatrix m = satellite_matrix();
+  VivaldiSystem sys(m, height_params(true));
+  sys.run(300);
+  for (HostId i = 0; i < m.size(); ++i) {
+    EXPECT_GE(sys.height(i), sys.params().min_height - 1e-12);
+  }
+}
+
+TEST(HeightVivaldi, HeightDisabledReportsZero) {
+  const DelayMatrix m = satellite_matrix();
+  VivaldiSystem sys(m, height_params(false));
+  sys.run(10);
+  EXPECT_DOUBLE_EQ(sys.height(3), 0.0);
+}
+
+TEST(HeightVivaldi, SatelliteHostsGetLargeHeights) {
+  const DelayMatrix m = satellite_matrix();
+  VivaldiSystem sys(m, height_params(true));
+  sys.run(10000);
+  // The satellite hosts carry the 200 ms constants; their heights must
+  // dwarf everyone else's.
+  double other_max = 0.0;
+  for (HostId i = kSatellites; i < m.size(); ++i) {
+    other_max = std::max(other_max, sys.height(i));
+  }
+  for (HostId s = 0; s < kSatellites; ++s) {
+    EXPECT_GT(sys.height(s), 50.0);
+    EXPECT_GT(sys.height(s), 1.5 * other_max);
+  }
+}
+
+TEST(HeightVivaldi, BeatsPlainEuclideanOnSatelliteData) {
+  const DelayMatrix m = satellite_matrix();
+  VivaldiSystem plain(m, height_params(false));
+  VivaldiSystem tall(m, height_params(true));
+  plain.run(10000);
+  tall.run(10000);
+  const double err_plain = plain.snapshot_error().absolute_error().mean;
+  const double err_tall = tall.snapshot_error().absolute_error().mean;
+  EXPECT_LT(err_tall, err_plain * 0.8);
+}
+
+TEST(HeightVivaldi, PredictionIncludesBothHeights) {
+  const DelayMatrix m = satellite_matrix();
+  VivaldiSystem sys(m, height_params(true));
+  sys.run(100);
+  const double d = distance(sys.coord(1), sys.coord(2));
+  EXPECT_NEAR(sys.predicted(1, 2), d + sys.height(1) + sys.height(2), 1e-12);
+}
+
+TEST(HeightVivaldi, StillConvergesOnGeneratedSpace) {
+  delayspace::DelaySpaceParams p;
+  p.topology.num_ases = 60;
+  p.topology.seed = 111;
+  p.hosts.num_hosts = 200;
+  p.hosts.seed = 112;
+  p.hosts.satellite_access_prob = 0.05;  // plenty of tall hosts
+  const auto ds = delayspace::generate_delay_space(p);
+  VivaldiParams vp = height_params(true);
+  vp.dimension = 5;
+  VivaldiSystem sys(ds.measured, vp);
+  sys.run(300);
+  const auto err = sys.snapshot_error().absolute_error();
+  EXPECT_LT(err.median, 40.0);
+}
+
+}  // namespace
+}  // namespace tiv::embedding

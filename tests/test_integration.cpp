@@ -1,0 +1,192 @@
+// End-to-end integration tests: the full pipelines the paper's evaluation
+// runs, at reduced scale, asserting the *direction* of every headline
+// result. These are the repository's regression net for the figure benches.
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/alert.hpp"
+#include "core/dynamic_neighbor.hpp"
+#include "core/severity.hpp"
+#include "core/severity_filter.hpp"
+#include "core/tiv_aware.hpp"
+#include "delayspace/clustering.hpp"
+#include "delayspace/datasets.hpp"
+#include "delayspace/euclidean.hpp"
+#include "embedding/lat.hpp"
+#include "embedding/trackers.hpp"
+#include "embedding/vivaldi.hpp"
+#include "matfact/ides.hpp"
+#include "neighbor/meridian_experiment.hpp"
+#include "neighbor/selection.hpp"
+
+namespace tiv {
+namespace {
+
+using delayspace::HostId;
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    space_ = new delayspace::DelaySpace(
+        delayspace::make_dataset(delayspace::DatasetId::kDs2, 400));
+    embedding::VivaldiParams vp;
+    vp.seed = 3;
+    vivaldi_ = new embedding::VivaldiSystem(space_->measured, vp);
+    vivaldi_->run(150);
+  }
+  static void TearDownTestSuite() {
+    delete vivaldi_;
+    delete space_;
+    vivaldi_ = nullptr;
+    space_ = nullptr;
+  }
+
+  static delayspace::DelaySpace* space_;
+  static embedding::VivaldiSystem* vivaldi_;
+};
+
+delayspace::DelaySpace* PipelineTest::space_ = nullptr;
+embedding::VivaldiSystem* PipelineTest::vivaldi_ = nullptr;
+
+TEST_F(PipelineTest, Section2_TivIsPresentButMostEdgesMild) {
+  const core::TivAnalyzer analyzer(space_->measured);
+  const double frac = analyzer.violating_triangle_fraction(200000);
+  EXPECT_GT(frac, 0.03);
+  EXPECT_LT(frac, 0.35);
+  const auto samples = analyzer.sampled_severities(3000);
+  std::vector<double> sev;
+  for (const auto& s : samples) sev.push_back(s.second);
+  const Summary sum = summarize(sev);
+  EXPECT_LT(sum.median, 0.1);  // most edges are mild ...
+  EXPECT_GT(sum.max, 0.5);     // ... the tail is severe
+}
+
+TEST_F(PipelineTest, Section2_ClusteringMatchesGroundTruth) {
+  const auto clustering =
+      delayspace::cluster_delay_space(space_->measured, {});
+  EXPECT_GE(clustering.num_clusters(), 2u);
+  EXPECT_GT(delayspace::rand_index(clustering, space_->host_cluster), 0.8);
+}
+
+TEST_F(PipelineTest, Section3_VivaldiOscillatesUnderTiv) {
+  embedding::VivaldiParams vp;
+  vp.seed = 9;
+  embedding::VivaldiSystem sys(space_->measured, vp);
+  sys.run(150);
+  embedding::MovementRecorder rec;
+  for (int t = 0; t < 50; ++t) rec.record(sys.tick());
+  // On TIV data the system never stops moving (paper: 1.6 ms/step median).
+  EXPECT_GT(rec.speed_summary().median, 0.3);
+}
+
+TEST_F(PipelineTest, Section3_IdealMeridianWorseOnTivThanEuclidean) {
+  delayspace::EuclideanParams ep;
+  ep.num_hosts = space_->measured.size();
+  const auto euclid = delayspace::euclidean_matrix(ep);
+  neighbor::MeridianExperimentParams p;
+  p.num_meridian_nodes = 40;
+  p.runs = 2;
+  p.meridian.ring_capacity = 100000;
+  p.meridian.num_rings = 20;
+  p.meridian.use_termination = false;
+  const auto r_euclid = neighbor::run_meridian_experiment(euclid, p);
+  const auto r_tiv = neighbor::run_meridian_experiment(space_->measured, p);
+  EXPECT_GT(r_euclid.fraction_optimal_found,
+            r_tiv.fraction_optimal_found);
+}
+
+TEST_F(PipelineTest, Section4_StrawmenDoNotBeatVivaldiMuch) {
+  neighbor::SelectionParams sp;
+  sp.num_candidates = 25;
+  sp.runs = 3;
+  const neighbor::SelectionExperiment exp(space_->measured, sp);
+
+  const Cdf vivaldi_cdf = exp.run([&](HostId a, HostId b) {
+    return vivaldi_->predicted(a, b);
+  });
+  // IDES (Fig. 15): the paper's core point is that accommodating TIV in the
+  // *model* does not make neighbor selection reliable — the penalty tail
+  // stays heavy. (Our synthetic matrix is more factorable than measured
+  // data, so IDES's median can come out better than Vivaldi's here; see
+  // EXPERIMENTS.md.)
+  const matfact::Ides ides(space_->measured, {});
+  const Cdf ides_cdf =
+      exp.run([&](HostId a, HostId b) { return ides.predicted(a, b); });
+  EXPECT_GT(ides_cdf.quantile(0.9), 50.0);  // far from oracle (0%)
+
+  // LAT (Fig. 16): within noise of Vivaldi at the median.
+  const embedding::LatAdjustment lat(*vivaldi_);
+  const Cdf lat_cdf = exp.run([&](HostId a, HostId b) {
+    return lat.predicted(*vivaldi_, a, b);
+  });
+  EXPECT_GE(lat_cdf.quantile(0.5), vivaldi_cdf.quantile(0.5) * 0.5);
+  EXPECT_GT(lat_cdf.quantile(0.9), 50.0);
+}
+
+TEST_F(PipelineTest, Section5_DynamicNeighborBeatsOriginal) {
+  neighbor::SelectionParams sp;
+  sp.num_candidates = 25;
+  sp.runs = 3;
+  const neighbor::SelectionExperiment exp(space_->measured, sp);
+  const Cdf original = exp.run([&](HostId a, HostId b) {
+    return vivaldi_->predicted(a, b);
+  });
+
+  embedding::VivaldiParams vp;
+  vp.seed = 3;
+  core::DynamicNeighborParams dp;
+  dp.period_seconds = 60;
+  core::DynamicNeighborVivaldi dyn(space_->measured, vp, dp);
+  for (int it = 0; it < 5; ++it) dyn.run_iteration();
+  const Cdf tuned = exp.run([&](HostId a, HostId b) {
+    return dyn.system().predicted(a, b);
+  });
+  // Fig. 23's headline: clear improvement in the upper half of the CDF.
+  EXPECT_LT(tuned.quantile(0.75), original.quantile(0.75));
+  EXPECT_LT(tuned.quantile(0.9), original.quantile(0.9));
+}
+
+TEST_F(PipelineTest, Section5_TivAwareMeridianImprovesFullRingSetting) {
+  neighbor::MeridianExperimentParams p;
+  p.num_meridian_nodes = 40;
+  p.runs = 3;
+  p.meridian.ring_capacity = 100000;
+  p.meridian.num_rings = 20;
+  const auto original =
+      neighbor::run_meridian_experiment(space_->measured, p);
+
+  neighbor::MeridianExperimentParams p_alert = p;
+  p_alert.meridian = core::tiv_aware_meridian_params(*vivaldi_, p.meridian);
+  const auto alert =
+      neighbor::run_meridian_experiment(space_->measured, p_alert);
+  // Fig. 25's direction: at least as good at finding the optimal node, at
+  // modest probe overhead.
+  EXPECT_GE(alert.fraction_optimal_found,
+            original.fraction_optimal_found - 0.01);
+  EXPECT_LT(alert.probes_per_query(), original.probes_per_query() * 1.35);
+}
+
+TEST_F(PipelineTest, Section5_AlertConcentratesOnSevereEdges) {
+  const auto samples = core::collect_ratio_severity_samples(*vivaldi_, 4000);
+  const auto loose = core::evaluate_alert(samples, 0.10, 0.9);
+  const auto tight = core::evaluate_alert(samples, 0.10, 0.4);
+  // Tightening the threshold trades recall for accuracy (Figs. 20-21).
+  EXPECT_GE(tight.accuracy, loose.accuracy);
+  EXPECT_LE(tight.recall, loose.recall);
+}
+
+TEST_F(PipelineTest, DatasetsAllAnalyzable) {
+  // Smoke the whole Section-2 pipeline on every preset at small scale.
+  for (const auto id : delayspace::all_datasets()) {
+    const auto space = delayspace::make_dataset(id, 150);
+    const core::TivAnalyzer analyzer(space.measured);
+    const double frac = analyzer.violating_triangle_fraction(50000);
+    EXPECT_GT(frac, 0.0) << delayspace::dataset_name(id);
+    EXPECT_LT(frac, 0.6) << delayspace::dataset_name(id);
+  }
+}
+
+}  // namespace
+}  // namespace tiv

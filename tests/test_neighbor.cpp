@@ -1,0 +1,178 @@
+// Neighbor-selection harness and the Meridian experiment wrapper.
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "delayspace/generate.hpp"
+#include "neighbor/meridian_experiment.hpp"
+#include "neighbor/selection.hpp"
+
+namespace tiv::neighbor {
+namespace {
+
+DelayMatrix line_matrix(const std::vector<float>& pos) {
+  DelayMatrix m(static_cast<HostId>(pos.size()));
+  for (HostId i = 0; i < pos.size(); ++i) {
+    for (HostId j = i + 1; j < pos.size(); ++j) {
+      m.set(i, j, std::abs(pos[i] - pos[j]));
+    }
+  }
+  return m;
+}
+
+TEST(PercentagePenalty, HandComputed) {
+  const DelayMatrix m = line_matrix({0, 10, 30, 100});
+  // Client 0; candidates {1, 2, 3}: optimal is node 1 at 10 ms. Selecting
+  // node 2 (30 ms) costs (30-10)*100/10 = 200%.
+  EXPECT_DOUBLE_EQ(percentage_penalty(m, 0, 2, {1, 2, 3}), 200.0);
+  EXPECT_DOUBLE_EQ(percentage_penalty(m, 0, 1, {1, 2, 3}), 0.0);
+}
+
+TEST(PercentagePenalty, NanWhenUnmeasurable) {
+  DelayMatrix m(3);
+  m.set(0, 1, 10.0f);
+  // 0-2 missing: selecting 2 cannot be evaluated.
+  EXPECT_TRUE(std::isnan(percentage_penalty(m, 0, 2, {1, 2})));
+}
+
+TEST(SelectionExperiment, RejectsOversizedCandidateSet) {
+  const DelayMatrix m = line_matrix({0, 1, 2});
+  SelectionParams p;
+  p.num_candidates = 3;
+  EXPECT_THROW(SelectionExperiment(m, p), std::invalid_argument);
+}
+
+TEST(SelectionExperiment, OraclePredictorHasZeroPenalty) {
+  delayspace::DelaySpaceParams dp;
+  dp.topology.num_ases = 50;
+  dp.topology.seed = 61;
+  dp.hosts.num_hosts = 120;
+  dp.hosts.seed = 62;
+  const auto ds = delayspace::generate_delay_space(dp);
+  SelectionParams p;
+  p.num_candidates = 20;
+  p.runs = 2;
+  const SelectionExperiment exp(ds.measured, p);
+  const Cdf cdf = exp.run([&ds](HostId a, HostId b) {
+    return static_cast<double>(ds.measured.at(a, b));
+  });
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 0.0);  // every test optimal
+}
+
+TEST(SelectionExperiment, RandomPredictorIsWorseThanOracle) {
+  delayspace::DelaySpaceParams dp;
+  dp.topology.num_ases = 50;
+  dp.topology.seed = 63;
+  dp.hosts.num_hosts = 120;
+  dp.hosts.seed = 64;
+  const auto ds = delayspace::generate_delay_space(dp);
+  SelectionParams p;
+  p.num_candidates = 20;
+  p.runs = 2;
+  const SelectionExperiment exp(ds.measured, p);
+  // A hash-based pseudo-random predictor.
+  const Cdf random_cdf = exp.run([](HostId a, HostId b) {
+    return static_cast<double>((a * 2654435761u + b * 40503u) % 1000);
+  });
+  EXPECT_GT(random_cdf.quantile(0.5), 0.0);
+}
+
+TEST(SelectionExperiment, CandidateSetsHaveRequestedShape) {
+  const DelayMatrix m = line_matrix({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  SelectionParams p;
+  p.num_candidates = 4;
+  p.runs = 3;
+  const SelectionExperiment exp(m, p);
+  ASSERT_EQ(exp.candidate_sets().size(), 3u);
+  for (const auto& set : exp.candidate_sets()) {
+    EXPECT_EQ(set.size(), 4u);
+    for (HostId c : set) EXPECT_LT(c, 10u);
+  }
+}
+
+TEST(SelectionExperiment, ChooserReceivesNonCandidateClients) {
+  const DelayMatrix m = line_matrix({0, 5, 10, 15, 20, 25});
+  SelectionParams p;
+  p.num_candidates = 2;
+  p.runs = 1;
+  const SelectionExperiment exp(m, p);
+  const auto& candidates = exp.candidate_sets()[0];
+  exp.run_with_chooser([&](HostId client, const std::vector<HostId>& cands) {
+    EXPECT_EQ(cands, candidates);
+    for (HostId c : cands) EXPECT_NE(client, c);
+    return cands[0];
+  });
+}
+
+TEST(MeridianExperiment, RejectsOversizedOverlay) {
+  const DelayMatrix m = line_matrix({0, 1, 2});
+  MeridianExperimentParams p;
+  p.num_meridian_nodes = 3;
+  EXPECT_THROW(run_meridian_experiment(m, p), std::invalid_argument);
+}
+
+TEST(MeridianExperiment, RunsAndAccountsProbes) {
+  delayspace::DelaySpaceParams dp;
+  dp.topology.num_ases = 60;
+  dp.topology.seed = 65;
+  dp.hosts.num_hosts = 150;
+  dp.hosts.seed = 66;
+  const auto ds = delayspace::generate_delay_space(dp);
+  MeridianExperimentParams p;
+  p.num_meridian_nodes = 60;
+  p.runs = 2;
+  const auto result = run_meridian_experiment(ds.measured, p);
+  EXPECT_GT(result.total_queries, 100u);
+  EXPECT_GT(result.total_probes, result.total_queries);
+  EXPECT_GT(result.probes_per_query(), 1.0);
+  EXPECT_GE(result.fraction_optimal_found, 0.0);
+  EXPECT_LE(result.fraction_optimal_found, 1.0);
+  EXPECT_FALSE(result.penalties.empty());
+  // Penalties are nonnegative by construction.
+  EXPECT_GE(result.penalties.quantile(0.0), 0.0);
+}
+
+TEST(MeridianExperiment, IdealizedModeNearOptimalOnMetricData) {
+  // Metric (line) delay space + full rings + no termination: Meridian finds
+  // the closest node almost always (paper Fig. 14, Euclidean curve).
+  std::vector<float> pos;
+  Rng rng(8);
+  for (int i = 0; i < 120; ++i) {
+    pos.push_back(static_cast<float>(rng.uniform(0.0, 500.0)));
+  }
+  const DelayMatrix m = line_matrix(pos);
+  MeridianExperimentParams p;
+  p.num_meridian_nodes = 40;
+  p.runs = 2;
+  p.meridian.ring_capacity = 10000;
+  p.meridian.num_rings = 16;
+  p.meridian.use_termination = false;
+  const auto result = run_meridian_experiment(m, p);
+  EXPECT_GT(result.fraction_optimal_found, 0.9);
+  EXPECT_LE(result.penalties.quantile(0.9), 1e-6);
+}
+
+TEST(MeridianExperiment, TivDataDegradesIdealizedMeridian) {
+  // Same idealized settings on a TIV-bearing space: a visible fraction of
+  // queries miss the true nearest node (paper: 13%).
+  delayspace::DelaySpaceParams dp;
+  dp.topology.num_ases = 60;
+  dp.topology.seed = 67;
+  dp.hosts.num_hosts = 150;
+  dp.hosts.seed = 68;
+  const auto ds = delayspace::generate_delay_space(dp);
+  MeridianExperimentParams p;
+  p.num_meridian_nodes = 40;
+  p.runs = 2;
+  p.meridian.ring_capacity = 10000;
+  p.meridian.num_rings = 16;
+  p.meridian.use_termination = false;
+  const auto result = run_meridian_experiment(ds.measured, p);
+  EXPECT_LT(result.fraction_optimal_found, 0.99);
+  EXPECT_GT(result.penalties.quantile(1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace tiv::neighbor
