@@ -1,0 +1,135 @@
+// Severity-engine kernel benchmark: scalar reference vs. the blocked,
+// branch-free kernel, across matrix sizes and thread counts.
+//
+// Emits a JSON array so future PRs can track the trajectory:
+//   [{"n":1024,"threads":1,"missing_fraction":0.1,
+//     "scalar_ms":..., "blocked_ms":..., "speedup":..., "max_rel_err":...},
+//    ...]
+//
+// Flags:
+//   --quick        n in {256, 512} only, 1 repetition (CI smoke run)
+//   --threads=T    benchmark only thread count T (default: 1, 2, 4, hw)
+//   --missing=F    missing-entry fraction of the synthetic matrix (default
+//                  0.1; the mask trick means it barely matters)
+//   --seed=S       RNG seed for the synthetic matrix
+//
+// The matrix is synthetic uniform-random RTTs rather than a generated delay
+// space: kernel cost depends only on n and the missing pattern, and this
+// keeps the 2048-host case cheap to set up.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/severity.hpp"
+#include "delayspace/delay_matrix.hpp"
+#include "util/flags.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using tiv::core::SeverityMatrix;
+using tiv::core::TivAnalyzer;
+using tiv::delayspace::DelayMatrix;
+using tiv::delayspace::HostId;
+
+DelayMatrix random_matrix(HostId n, double missing_fraction,
+                          std::uint64_t seed) {
+  DelayMatrix m(n);
+  tiv::Rng rng(seed);
+  for (HostId i = 0; i < n; ++i) {
+    for (HostId j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(missing_fraction)) continue;
+      m.set(i, j, static_cast<float>(rng.uniform(1.0, 400.0)));
+    }
+  }
+  return m;
+}
+
+double time_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Best-of-reps wall time of fn, which must assign its result out of the
+/// timed region so the work is not optimized away.
+double best_ms(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) best = std::min(best, time_ms(fn));
+  return best;
+}
+
+double max_rel_err(const SeverityMatrix& got, const SeverityMatrix& want) {
+  double worst = 0.0;
+  const HostId n = got.size();
+  for (HostId i = 0; i < n; ++i) {
+    for (HostId j = i + 1; j < n; ++j) {
+      const double g = got.at(i, j);
+      const double w = want.at(i, j);
+      const double scale = std::max({1.0, std::abs(g), std::abs(w)});
+      worst = std::max(worst, std::abs(g - w) / scale);
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tiv::Flags flags(argc, argv);
+  const bool quick = flags.get_bool("quick", false);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const double missing = flags.get_double("missing", 0.1);
+  const auto only_threads = flags.get_int("threads", 0);
+  tiv::reject_unknown_flags(flags);
+
+  std::vector<HostId> sizes =
+      quick ? std::vector<HostId>{256, 512}
+            : std::vector<HostId>{256, 512, 1024, 2048};
+  std::vector<std::size_t> thread_counts;
+  if (only_threads > 0) {
+    thread_counts.push_back(static_cast<std::size_t>(only_threads));
+  } else {
+    thread_counts = {1, 2, 4};
+    const std::size_t hw = std::thread::hardware_concurrency();
+    if (hw > 4) thread_counts.push_back(hw);
+  }
+
+  std::printf("[\n");
+  bool first = true;
+  for (const HostId n : sizes) {
+    const DelayMatrix m = random_matrix(n, missing, seed);
+    const TivAnalyzer analyzer(m);
+    const int reps = quick ? 1 : (n >= 2048 ? 2 : 3);
+
+    // Scalar baseline is always single-threaded: it is the seed kernel's
+    // per-core cost, the denominator of every speedup below.
+    tiv::set_parallel_thread_count(1);
+    SeverityMatrix ref;
+    const double scalar_ms =
+        best_ms(reps, [&] { ref = analyzer.all_severities_reference(); });
+
+    for (const std::size_t threads : thread_counts) {
+      tiv::set_parallel_thread_count(threads);
+      SeverityMatrix blocked;
+      const double blocked_ms =
+          best_ms(reps, [&] { blocked = analyzer.all_severities(); });
+      const double err = max_rel_err(blocked, ref);
+      std::printf("%s  {\"n\":%u,\"threads\":%zu,\"missing_fraction\":%.3f,"
+                  "\"scalar_ms\":%.3f,\"blocked_ms\":%.3f,"
+                  "\"speedup\":%.3f,\"max_rel_err\":%.3g}",
+                  first ? "" : ",\n", n, threads, missing, scalar_ms,
+                  blocked_ms, scalar_ms / blocked_ms, err);
+      first = false;
+    }
+  }
+  std::printf("\n]\n");
+  tiv::set_parallel_thread_count(0);
+  return 0;
+}

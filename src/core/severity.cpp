@@ -1,11 +1,117 @@
 #include "core/severity.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <unordered_set>
 
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace tiv::core {
+namespace {
+
+using delayspace::DelayMatrixView;
+
+// ---------------------------------------------------------------------------
+// Blocked, branch-free witness-scan kernels.
+//
+// Both kernels below scan the padded rows of a DelayMatrixView, in which
+// missing entries are kMaskedDelay (huge) and the diagonal is 0. That
+// representation makes every exclusion implicit:
+//   - missing leg:  detour >= kMaskedDelay, never < d_ac
+//   - b == a:       detour == 0 + d_ac    , never < d_ac (strictly)
+//   - b == c:       detour == d_ac + 0    , never < d_ac
+// so the loop body is pure arithmetic + compares, which the compiler
+// auto-vectorizes. kLane independent accumulators keep the reduction
+// vectorizable under strict FP semantics (the summation order is fixed and
+// deterministic, just not left-to-right).
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kLane = 8;
+static_assert(DelayMatrixView::kLaneFloats % kLane == 0);
+
+/// Sum over witnesses b of d_ac / (d_ab + d_bc) for violating b
+/// (detour < d_ac, detour > 0) — the unnormalized severity of edge (a, c).
+double pair_ratio_sum(const float* ra, const float* rc, std::size_t stride,
+                      float dac) {
+  double acc[kLane] = {};
+  for (std::size_t b = 0; b < stride; b += kLane) {
+    for (std::size_t l = 0; l < kLane; ++l) {
+      const float detour = ra[b + l] + rc[b + l];
+      const bool violates = (detour < dac) & (detour > 0.0f);
+      // Unconditional division with a blended-safe divisor: cheaper than a
+      // branch per witness and keeps the loop if-convertible. Double
+      // division so each term is bit-identical to the scalar reference
+      // (only the summation order differs).
+      const double ratio = static_cast<double>(dac) /
+                           (violates ? static_cast<double>(detour) : 1.0);
+      acc[l] += violates ? ratio : 0.0;
+    }
+  }
+  return ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+         ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+}
+
+/// Number of witnesses b with detour < d_ac. Unlike pair_ratio_sum there is
+/// no detour > 0 exclusion: a measured zero-length detour violates the
+/// triangle inequality for counting purposes (matches the scalar
+/// violating_triangle_fraction reference).
+std::size_t pair_violation_count(const float* ra, const float* rc,
+                                 std::size_t stride, float dac) {
+  std::size_t acc[kLane] = {};
+  for (std::size_t b = 0; b < stride; b += kLane) {
+    for (std::size_t l = 0; l < kLane; ++l) {
+      const float detour = ra[b + l] + rc[b + l];
+      acc[l] += detour < dac ? 1u : 0u;
+    }
+  }
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < kLane; ++l) total += acc[l];
+  return total;
+}
+
+// Tile edge for the blocked (a, c) pair loop. 16 rows of each endpoint keep
+// the working set (2 * 16 padded rows) inside L2 even at n = 8192 while
+// giving each dynamic chunk ~256 * n witnesses of work.
+constexpr std::size_t kTileRows = 16;
+
+/// Runs fn(a_begin, a_end, c_begin, c_end) over all tiles covering the
+/// strict upper triangle (a < c allowed inside the tile; fn must still clamp
+/// c > a), dynamically scheduled so the triangular workload balances.
+template <typename TileFn>
+void for_each_upper_tile(HostId n, TileFn&& fn) {
+  const std::size_t tiles =
+      (static_cast<std::size_t>(n) + kTileRows - 1) / kTileRows;
+  const std::size_t tile_pairs = tiles * (tiles + 1) / 2;
+  parallel_for_dynamic(
+      tile_pairs, 1, [&](std::size_t begin, std::size_t end) {
+        // Decode the linear index into (ta, tc), ta <= tc, walking rows of
+        // the tile triangle. O(tiles) per chunk — negligible next to the
+        // O(kTileRows^2 * n) tile body.
+        std::size_t ta = 0;
+        std::size_t rem = begin;
+        while (rem >= tiles - ta) {
+          rem -= tiles - ta;
+          ++ta;
+        }
+        std::size_t tc = ta + rem;
+        for (std::size_t k = begin; k < end; ++k) {
+          const auto a_begin = static_cast<HostId>(ta * kTileRows);
+          const auto a_end = static_cast<HostId>(
+              std::min<std::size_t>((ta + 1) * kTileRows, n));
+          const auto c_begin = static_cast<HostId>(tc * kTileRows);
+          const auto c_end = static_cast<HostId>(
+              std::min<std::size_t>((tc + 1) * kTileRows, n));
+          fn(a_begin, a_end, c_begin, c_end);
+          if (++tc == tiles) {
+            ++ta;
+            tc = ta;
+          }
+        }
+      });
+}
+
+}  // namespace
 
 std::vector<double> SeverityMatrix::values_for_measured_edges(
     const DelayMatrix& matrix) const {
@@ -76,6 +182,30 @@ std::vector<double> TivAnalyzer::violation_ratios(HostId a, HostId c) const {
 SeverityMatrix TivAnalyzer::all_severities() const {
   const HostId n = matrix_.size();
   SeverityMatrix sev(n);
+  if (n < 2) return sev;
+  const DelayMatrixView view(matrix_);
+  const std::size_t stride = view.stride();
+  const auto nd = static_cast<double>(n);
+  for_each_upper_tile(n, [&](HostId a_begin, HostId a_end, HostId c_begin,
+                             HostId c_end) {
+    for (HostId a = a_begin; a < a_end; ++a) {
+      const float* row_a = view.row(a);
+      const HostId c_lo = std::max<HostId>(c_begin, a + 1);
+      for (HostId c = c_lo; c < c_end; ++c) {
+        const float d_ac = row_a[c];
+        if (d_ac >= DelayMatrixView::kMaskedDelay) continue;  // unmeasured
+        const double ratio_sum =
+            pair_ratio_sum(row_a, view.row(c), stride, d_ac);
+        sev.set(a, c, static_cast<float>(ratio_sum / nd));
+      }
+    }
+  });
+  return sev;
+}
+
+SeverityMatrix TivAnalyzer::all_severities_reference() const {
+  const HostId n = matrix_.size();
+  SeverityMatrix sev(n);
   const auto nd = static_cast<double>(n);
   // Parallel over the first endpoint; each task owns rows i and writes only
   // the (i, j>i) strip, then we mirror. The inner witness scan reads two
@@ -112,6 +242,10 @@ TivAnalyzer::sampled_severities(std::size_t count, std::uint64_t seed) const {
   Rng rng(seed);
   std::vector<std::pair<HostId, HostId>> edges;
   edges.reserve(count);
+  // Rejection-sample distinct measured pairs; see the header for the
+  // attempts bail-out contract.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(count * 2);
   std::size_t attempts = 0;
   while (edges.size() < count && attempts < count * 30) {
     ++attempts;
@@ -119,18 +253,70 @@ TivAnalyzer::sampled_severities(std::size_t count, std::uint64_t seed) const {
     auto j = static_cast<HostId>(rng.uniform_index(n));
     if (i == j || !matrix_.has(i, j)) continue;
     if (i > j) std::swap(i, j);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(i) << 32) | static_cast<std::uint64_t>(j);
+    if (!seen.insert(key).second) continue;  // duplicate edge
     edges.emplace_back(i, j);
   }
   std::vector<std::pair<std::pair<HostId, HostId>, double>> out(edges.size());
-  parallel_for(edges.size(), [&](std::size_t e) {
-    out[e] = {edges[e], edge_severity(edges[e].first, edges[e].second)};
-  });
+  // The packed view costs an O(N^2) build; it only pays for itself when the
+  // vectorized per-edge scans amortize it. For a handful of samples the
+  // scalar edge scan is strictly cheaper.
+  if (edges.size() * 4 >= n) {
+    const DelayMatrixView view(matrix_);
+    const std::size_t stride = view.stride();
+    const auto nd = static_cast<double>(n);
+    parallel_for(edges.size(), [&](std::size_t e) {
+      const auto [a, c] = edges[e];
+      const float d_ac = view.row(a)[c];
+      out[e] = {edges[e],
+                pair_ratio_sum(view.row(a), view.row(c), stride, d_ac) / nd};
+    });
+  } else {
+    parallel_for(edges.size(), [&](std::size_t e) {
+      out[e] = {edges[e], edge_severity(edges[e].first, edges[e].second)};
+    });
+  }
   return out;
 }
 
 double TivAnalyzer::violating_triangle_fraction(std::size_t sample_triangles,
                                                 std::uint64_t seed) const {
   const HostId n = matrix_.size();
+  if (sample_triangles == 0) {
+    // Exact mode, through the same blocked machinery as all_severities.
+    //
+    // Scan unordered measured pairs (a, c) and count witnesses b with both
+    // legs measured. Each measurable triangle {x, y, z} is counted once per
+    // role (3 times total), but contributes a *violation* in exactly one
+    // role: if d_xy + d_yz < d_xz then d_xz is the strict maximum, so the
+    // other two inequalities hold. Hence
+    //   violating fraction = violations / (witness_total / 3).
+    if (n < 3) return 0.0;
+    const DelayMatrixView view(matrix_);
+    const std::size_t stride = view.stride();
+    std::atomic<std::size_t> violations{0};
+    std::atomic<std::size_t> witness_total{0};
+    for_each_upper_tile(n, [&](HostId a_begin, HostId a_end, HostId c_begin,
+                               HostId c_end) {
+      std::size_t local_v = 0;
+      std::size_t local_t = 0;
+      for (HostId a = a_begin; a < a_end; ++a) {
+        const float* row_a = view.row(a);
+        const HostId c_lo = std::max<HostId>(c_begin, a + 1);
+        for (HostId c = c_lo; c < c_end; ++c) {
+          const float d_ac = row_a[c];
+          if (d_ac >= DelayMatrixView::kMaskedDelay) continue;
+          local_t += view.witness_count(a, c);
+          local_v += pair_violation_count(row_a, view.row(c), stride, d_ac);
+        }
+      }
+      violations.fetch_add(local_v, std::memory_order_relaxed);
+      witness_total.fetch_add(local_t, std::memory_order_relaxed);
+    });
+    const auto t = static_cast<double>(witness_total.load());
+    return t == 0.0 ? 0.0 : 3.0 * static_cast<double>(violations.load()) / t;
+  }
   auto violates = [&](HostId a, HostId b, HostId c) {
     const float ab = matrix_.at(a, b);
     const float bc = matrix_.at(b, c);
@@ -138,29 +324,6 @@ double TivAnalyzer::violating_triangle_fraction(std::size_t sample_triangles,
     if (ab < 0.0f || bc < 0.0f || ac < 0.0f) return -1;  // unmeasurable
     return (ab + bc < ac || ab + ac < bc || bc + ac < ab) ? 1 : 0;
   };
-  if (sample_triangles == 0) {
-    // Exact count, parallel over the first vertex.
-    std::vector<std::size_t> violating(n, 0);
-    std::vector<std::size_t> total(n, 0);
-    parallel_for(n, [&](std::size_t ai) {
-      const auto a = static_cast<HostId>(ai);
-      for (HostId b = a + 1; b < n; ++b) {
-        for (HostId c = b + 1; c < n; ++c) {
-          const int v = violates(a, b, c);
-          if (v < 0) continue;
-          ++total[a];
-          violating[a] += v;
-        }
-      }
-    });
-    std::size_t v = 0;
-    std::size_t t = 0;
-    for (HostId a = 0; a < n; ++a) {
-      v += violating[a];
-      t += total[a];
-    }
-    return t == 0 ? 0.0 : static_cast<double>(v) / static_cast<double>(t);
-  }
   Rng rng(seed);
   std::size_t v = 0;
   std::size_t t = 0;

@@ -84,11 +84,28 @@ class TivAnalyzer {
   /// distribution), unsorted.
   std::vector<double> violation_ratios(HostId a, HostId c) const;
 
-  /// All-edges severity matrix; O(N^3), parallelized over rows.
+  /// All-edges severity matrix; O(N^3). Runs the tiled, branch-free kernel
+  /// over a packed DelayMatrixView (see docs/PERFORMANCE.md), dynamically
+  /// scheduled over (a, c) tiles of the upper triangle. Matches
+  /// all_severities_reference to within ~1e-7 relative (float-division
+  /// rounding; both round the result to float).
   SeverityMatrix all_severities() const;
 
-  /// Severities of `count` random measured edges — enough for CDFs at a
-  /// fraction of the all-edges cost. Returns (edge, severity) pairs.
+  /// The straightforward scalar kernel (the original implementation): two
+  /// data-dependent branches per witness, statically partitioned rows. Kept
+  /// as the correctness reference for tests and as the baseline
+  /// bench_severity_kernel measures the blocked kernel against.
+  SeverityMatrix all_severities_reference() const;
+
+  /// Severities of `count` distinct random measured edges — enough for CDFs
+  /// at a fraction of the all-edges cost. Returns (edge, severity) pairs.
+  ///
+  /// Sampling is without replacement: a pair already drawn is rejected, so
+  /// severity CDFs are not skewed by duplicate edges. Rejection sampling
+  /// gives up after 30 * count attempts (misses, duplicates, and unmeasured
+  /// pairs all consume attempts), so on a sparse matrix — or when count
+  /// approaches the number of measured edges — the result may hold fewer
+  /// than `count` entries rather than loop forever.
   std::vector<std::pair<std::pair<HostId, HostId>, double>> sampled_severities(
       std::size_t count, std::uint64_t seed = 1234) const;
 

@@ -1,6 +1,8 @@
 #include "delayspace/delay_matrix.hpp"
 
+#include <bit>
 #include <cassert>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -75,6 +77,58 @@ DelayMatrix DelayMatrix::load(const std::string& path) {
   }
   if (!in.eof()) throw std::runtime_error("DelayMatrix::load: parse error");
   return m;
+}
+
+DelayMatrixView::DelayMatrixView(const DelayMatrix& m) : n_(m.size()) {
+  stride_ = ((static_cast<std::size_t>(n_) + kLaneFloats - 1) / kLaneFloats) *
+            kLaneFloats;
+  if (stride_ == 0) stride_ = kLaneFloats;
+  mask_words_ = (static_cast<std::size_t>(n_) + 63) / 64;
+  if (mask_words_ == 0) mask_words_ = 1;
+
+  // 64-byte-aligned delay rows; std::vector gives no alignment guarantee
+  // beyond alignof(float), so over-allocate and align the base by hand.
+  // Aligning the base to the padding granularity is what makes *every* row
+  // start 64-byte aligned (stride_ is a multiple of kLaneFloats).
+  static_assert(kLaneFloats * sizeof(float) == 64,
+                "row alignment contract assumes 64-byte lanes");
+  delay_storage_.assign(static_cast<std::size_t>(n_) * stride_ + kLaneFloats,
+                        kMaskedDelay);
+  auto addr = reinterpret_cast<std::uintptr_t>(delay_storage_.data());
+  const std::size_t misalign =
+      (addr / sizeof(float)) % kLaneFloats == 0
+          ? 0
+          : kLaneFloats - (addr / sizeof(float)) % kLaneFloats;
+  delays_ = delay_storage_.data() + misalign;
+
+  masks_.assign(static_cast<std::size_t>(n_) * mask_words_, 0);
+  for (HostId i = 0; i < n_; ++i) {
+    float* out = delays_ + i * stride_;
+    std::uint64_t* mask = masks_.data() + i * mask_words_;
+    const auto row = m.row(i);
+    for (HostId b = 0; b < n_; ++b) {
+      const float d = row[b];
+      if (b == i) {
+        out[b] = 0.0f;  // diagonal: keeps the b==a/b==c self-exclusion trick
+      } else if (d >= 0.0f) {
+        out[b] = d;
+        mask[b >> 6] |= std::uint64_t{1} << (b & 63);
+      } else {
+        out[b] = kMaskedDelay;
+      }
+    }
+    // padding columns [n_, stride_) already hold kMaskedDelay
+  }
+}
+
+std::size_t DelayMatrixView::witness_count(HostId a, HostId c) const {
+  const std::uint64_t* ma = mask_row(a);
+  const std::uint64_t* mc = mask_row(c);
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < mask_words_; ++w) {
+    count += static_cast<std::size_t>(std::popcount(ma[w] & mc[w]));
+  }
+  return count;
 }
 
 }  // namespace tiv::delayspace

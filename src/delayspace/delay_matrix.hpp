@@ -74,4 +74,73 @@ class DelayMatrix {
   std::vector<float> data_;
 };
 
+/// Packed read-only view of a DelayMatrix optimized for the O(N^3) witness
+/// scans of the TIV analyzer.
+///
+/// Two transformations make the inner loop branch-free and vectorizable:
+///
+///  1. Missing entries (DelayMatrix::kMissing, negative) are rewritten to
+///     kMaskedDelay, a huge positive sentinel. A detour through a missing
+///     leg then sums to >= kMaskedDelay and can never satisfy
+///     `detour < d_ac`, so the kernel needs no `d < 0` tests at all. The
+///     diagonal stays 0, which likewise self-excludes the b == a / b == c
+///     witnesses (their detour equals d_ac exactly, never strictly less).
+///
+///  2. Rows are padded to a multiple of kLaneFloats and 64-byte aligned;
+///     padding lanes hold kMaskedDelay. The witness loop can therefore run
+///     to stride() in full SIMD lanes with no scalar tail.
+///
+/// For counting (witness totals, measurable-triangle totals) the view also
+/// carries a per-row missing-entry bitmask: bit b of mask_row(i) is set iff
+/// (i, b) is a usable measurement (i != b and measured). The number of
+/// witnesses with both legs measured for edge (a, c) is then one AND+popcount
+/// sweep — b == a and b == c fall out automatically because a row's own bit
+/// is never set.
+///
+/// The view holds a snapshot: mutate the DelayMatrix and rebuild the view.
+class DelayMatrixView {
+ public:
+  /// Sentinel for missing/padding entries. Large enough that any sum
+  /// involving it exceeds every real RTT, small enough that sums of two
+  /// stay finite in float.
+  static constexpr float kMaskedDelay = 1e30f;
+  /// Row padding granularity in floats (64 bytes: one cache line, one
+  /// AVX-512 register).
+  static constexpr std::size_t kLaneFloats = 16;
+
+  explicit DelayMatrixView(const DelayMatrix& m);
+
+  // Non-copyable/movable: delays_ points into delay_storage_, so a copied
+  // view would alias (then dangle with) the source's buffer.
+  DelayMatrixView(const DelayMatrixView&) = delete;
+  DelayMatrixView& operator=(const DelayMatrixView&) = delete;
+
+  HostId size() const { return n_; }
+  /// Padded row length in floats (multiple of kLaneFloats).
+  std::size_t stride() const { return stride_; }
+  /// Words per bitmask row.
+  std::size_t mask_words() const { return mask_words_; }
+
+  /// Delay row i: at(i, b) for b < size(), kMaskedDelay where missing or
+  /// padding; 64-byte aligned.
+  const float* row(HostId i) const { return delays_ + i * stride_; }
+
+  /// Bit b set iff (i, b) is a usable measurement.
+  const std::uint64_t* mask_row(HostId i) const {
+    return masks_.data() + i * mask_words_;
+  }
+
+  /// Witnesses of edge (a, c) with both legs measured (excludes a and c
+  /// themselves): popcount over the AND of the two mask rows.
+  std::size_t witness_count(HostId a, HostId c) const;
+
+ private:
+  HostId n_ = 0;
+  std::size_t stride_ = 0;
+  std::size_t mask_words_ = 0;
+  std::vector<float> delay_storage_;  ///< over-allocated for alignment
+  float* delays_ = nullptr;           ///< 64-byte aligned base
+  std::vector<std::uint64_t> masks_;
+};
+
 }  // namespace tiv::delayspace
