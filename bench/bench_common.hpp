@@ -10,8 +10,10 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <iostream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "delayspace/datasets.hpp"
@@ -113,6 +115,101 @@ inline void print_bins(const std::string& title, const std::vector<Bin>& bins,
   }
   emit(table, c);
 }
+
+/// Streaming emitter for the machine-checkable kernel benches: a JSON array
+/// of flat records, one object per measurement, so future PRs can diff
+/// trajectories with jq instead of parsing aligned tables.
+///
+///   JsonArrayWriter json(std::cout);
+///   json.object().field("n", n).field("ms", ms, 3).field_sig("err", e, 3);
+///
+/// The Object temporary closes itself at the end of the full expression;
+/// the writer closes the array on destruction.
+class JsonArrayWriter {
+ public:
+  class Object {
+   public:
+    explicit Object(std::ostream& out) : out_(out) { out_ << "{"; }
+    ~Object() { out_ << "}"; }
+    Object(const Object&) = delete;
+    Object& operator=(const Object&) = delete;
+
+    /// One template for every integer type (size_t is unsigned long on
+    /// LP64 glibc but unsigned long long elsewhere; per-type overloads
+    /// would be ambiguous on one platform or the other). bool is excluded
+    /// — use field_bool.
+    template <typename T,
+              std::enable_if_t<std::is_integral_v<T> &&
+                                   !std::is_same_v<T, bool>,
+                               int> = 0>
+    Object& field(const std::string& key, T v) {
+      if constexpr (std::is_signed_v<T>) {
+        sep() << quoted(key) << ":" << static_cast<std::int64_t>(v);
+      } else {
+        sep() << quoted(key) << ":" << static_cast<std::uint64_t>(v);
+      }
+      return *this;
+    }
+    /// Fixed-point with `decimals` fractional digits (timings, fractions).
+    Object& field(const std::string& key, double v, int decimals = 3) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+      sep() << quoted(key) << ":" << buf;
+      return *this;
+    }
+    /// Significant-digit form (errors spanning decades; emits e.g. 1.2e-09).
+    Object& field_sig(const std::string& key, double v, int significant = 3) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.*g", significant, v);
+      sep() << quoted(key) << ":" << buf;
+      return *this;
+    }
+    Object& field(const std::string& key, const std::string& v) {
+      sep() << quoted(key) << ":" << quoted(v);
+      return *this;
+    }
+    Object& field_bool(const std::string& key, bool v) {
+      sep() << quoted(key) << ":" << (v ? "true" : "false");
+      return *this;
+    }
+
+   private:
+    std::ostream& sep() {
+      if (!first_) out_ << ",";
+      first_ = false;
+      return out_;
+    }
+    static std::string quoted(const std::string& s) {
+      std::string out = "\"";
+      for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += '"';
+      return out;
+    }
+
+    std::ostream& out_;
+    bool first_ = true;
+  };
+
+  explicit JsonArrayWriter(std::ostream& out) : out_(out) { out_ << "[\n"; }
+  ~JsonArrayWriter() { out_ << "\n]\n"; }
+  JsonArrayWriter(const JsonArrayWriter&) = delete;
+  JsonArrayWriter& operator=(const JsonArrayWriter&) = delete;
+
+  /// Starts the next record (indented, comma-separated from the previous).
+  Object object() {
+    if (!first_) out_ << ",\n";
+    first_ = false;
+    out_ << "  ";
+    return Object(out_);
+  }
+
+ private:
+  std::ostream& out_;
+  bool first_ = true;
+};
 
 /// Log-spaced grid (the paper's percentage-penalty CDFs use a log x axis
 /// from 10^0 to 10^4).

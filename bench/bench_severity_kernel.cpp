@@ -19,11 +19,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <cstdio>
 #include <functional>
+#include <iostream>
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/severity.hpp"
 #include "delayspace/delay_matrix.hpp"
 #include "util/flags.hpp"
@@ -101,8 +102,7 @@ int main(int argc, char** argv) {
     if (hw > 4) thread_counts.push_back(hw);
   }
 
-  std::printf("[\n");
-  bool first = true;
+  tiv::bench::JsonArrayWriter json(std::cout);
   for (const HostId n : sizes) {
     const DelayMatrix m = random_matrix(n, missing, seed);
     const TivAnalyzer analyzer(m);
@@ -121,15 +121,16 @@ int main(int argc, char** argv) {
       const double blocked_ms =
           best_ms(reps, [&] { blocked = analyzer.all_severities(); });
       const double err = max_rel_err(blocked, ref);
-      std::printf("%s  {\"n\":%u,\"threads\":%zu,\"missing_fraction\":%.3f,"
-                  "\"scalar_ms\":%.3f,\"blocked_ms\":%.3f,"
-                  "\"speedup\":%.3f,\"max_rel_err\":%.3g}",
-                  first ? "" : ",\n", n, threads, missing, scalar_ms,
-                  blocked_ms, scalar_ms / blocked_ms, err);
-      first = false;
+      json.object()
+          .field("n", n)
+          .field("threads", threads)
+          .field("missing_fraction", missing, 3)
+          .field("scalar_ms", scalar_ms, 3)
+          .field("blocked_ms", blocked_ms, 3)
+          .field("speedup", scalar_ms / blocked_ms, 3)
+          .field_sig("max_rel_err", err, 3);
     }
   }
-  std::printf("\n]\n");
   tiv::set_parallel_thread_count(0);
   return 0;
 }

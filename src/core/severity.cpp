@@ -4,6 +4,8 @@
 #include <atomic>
 #include <unordered_set>
 
+#include "core/triangle_schedule.hpp"
+#include "core/witness_kernels.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -13,61 +15,27 @@ namespace {
 using delayspace::DelayMatrixView;
 
 // ---------------------------------------------------------------------------
-// Blocked, branch-free witness-scan kernels.
-//
-// Both kernels below scan the padded rows of a DelayMatrixView, in which
-// missing entries are kMaskedDelay (huge) and the diagonal is 0. That
-// representation makes every exclusion implicit:
+// Blocked, branch-free witness scans over the padded rows of a
+// DelayMatrixView, in which missing entries are kMaskedDelay (huge) and the
+// diagonal is 0. That representation makes every exclusion implicit:
 //   - missing leg:  detour >= kMaskedDelay, never < d_ac
 //   - b == a:       detour == 0 + d_ac    , never < d_ac (strictly)
 //   - b == c:       detour == d_ac + 0    , never < d_ac
 // so the loop body is pure arithmetic + compares, which the compiler
-// auto-vectorizes. kLane independent accumulators keep the reduction
-// vectorizable under strict FP semantics (the summation order is fixed and
-// deterministic, just not left-to-right).
+// auto-vectorizes. The loop bodies live in core/witness_kernels.hpp, shared
+// with the out-of-core streaming driver (shard_severity.cpp), which feeds
+// the same accumulator lanes in tile-sized chunks for bit-identical sums.
 // ---------------------------------------------------------------------------
 
-constexpr std::size_t kLane = 8;
-static_assert(DelayMatrixView::kLaneFloats % kLane == 0);
+static_assert(DelayMatrixView::kLaneFloats % kWitnessLanes == 0);
 
 /// Sum over witnesses b of d_ac / (d_ab + d_bc) for violating b
 /// (detour < d_ac, detour > 0) — the unnormalized severity of edge (a, c).
 double pair_ratio_sum(const float* ra, const float* rc, std::size_t stride,
                       float dac) {
-  double acc[kLane] = {};
-  for (std::size_t b = 0; b < stride; b += kLane) {
-    for (std::size_t l = 0; l < kLane; ++l) {
-      const float detour = ra[b + l] + rc[b + l];
-      const bool violates = (detour < dac) & (detour > 0.0f);
-      // Unconditional division with a blended-safe divisor: cheaper than a
-      // branch per witness and keeps the loop if-convertible. Double
-      // division so each term is bit-identical to the scalar reference
-      // (only the summation order differs).
-      const double ratio = static_cast<double>(dac) /
-                           (violates ? static_cast<double>(detour) : 1.0);
-      acc[l] += violates ? ratio : 0.0;
-    }
-  }
-  return ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
-         ((acc[4] + acc[5]) + (acc[6] + acc[7]));
-}
-
-/// Number of witnesses b with detour < d_ac. Unlike pair_ratio_sum there is
-/// no detour > 0 exclusion: a measured zero-length detour violates the
-/// triangle inequality for counting purposes (matches the scalar
-/// violating_triangle_fraction reference).
-std::size_t pair_violation_count(const float* ra, const float* rc,
-                                 std::size_t stride, float dac) {
-  std::size_t acc[kLane] = {};
-  for (std::size_t b = 0; b < stride; b += kLane) {
-    for (std::size_t l = 0; l < kLane; ++l) {
-      const float detour = ra[b + l] + rc[b + l];
-      acc[l] += detour < dac ? 1u : 0u;
-    }
-  }
-  std::size_t total = 0;
-  for (std::size_t l = 0; l < kLane; ++l) total += acc[l];
-  return total;
+  double acc[kWitnessLanes] = {};
+  witness_ratio_accumulate(ra, rc, stride, dac, acc);
+  return witness_ratio_reduce(acc);
 }
 
 // Tile edge for the blocked (a, c) pair loop. 16 rows of each endpoint keep
@@ -82,33 +50,12 @@ template <typename TileFn>
 void for_each_upper_tile(HostId n, TileFn&& fn) {
   const std::size_t tiles =
       (static_cast<std::size_t>(n) + kTileRows - 1) / kTileRows;
-  const std::size_t tile_pairs = tiles * (tiles + 1) / 2;
-  parallel_for_dynamic(
-      tile_pairs, 1, [&](std::size_t begin, std::size_t end) {
-        // Decode the linear index into (ta, tc), ta <= tc, walking rows of
-        // the tile triangle. O(tiles) per chunk — negligible next to the
-        // O(kTileRows^2 * n) tile body.
-        std::size_t ta = 0;
-        std::size_t rem = begin;
-        while (rem >= tiles - ta) {
-          rem -= tiles - ta;
-          ++ta;
-        }
-        std::size_t tc = ta + rem;
-        for (std::size_t k = begin; k < end; ++k) {
-          const auto a_begin = static_cast<HostId>(ta * kTileRows);
-          const auto a_end = static_cast<HostId>(
-              std::min<std::size_t>((ta + 1) * kTileRows, n));
-          const auto c_begin = static_cast<HostId>(tc * kTileRows);
-          const auto c_end = static_cast<HostId>(
-              std::min<std::size_t>((tc + 1) * kTileRows, n));
-          fn(a_begin, a_end, c_begin, c_end);
-          if (++tc == tiles) {
-            ++ta;
-            tc = ta;
-          }
-        }
-      });
+  for_each_triangle_pair(tiles, [&](std::size_t ta, std::size_t tc) {
+    fn(static_cast<HostId>(ta * kTileRows),
+       static_cast<HostId>(std::min<std::size_t>((ta + 1) * kTileRows, n)),
+       static_cast<HostId>(tc * kTileRows),
+       static_cast<HostId>(std::min<std::size_t>((tc + 1) * kTileRows, n)));
+  });
 }
 
 }  // namespace
@@ -308,7 +255,8 @@ double TivAnalyzer::violating_triangle_fraction(std::size_t sample_triangles,
           const float d_ac = row_a[c];
           if (d_ac >= DelayMatrixView::kMaskedDelay) continue;
           local_t += view.witness_count(a, c);
-          local_v += pair_violation_count(row_a, view.row(c), stride, d_ac);
+          local_v +=
+              witness_violation_count(row_a, view.row(c), stride, d_ac);
         }
       }
       violations.fetch_add(local_v, std::memory_order_relaxed);

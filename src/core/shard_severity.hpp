@@ -1,0 +1,77 @@
+// Out-of-core TIV severity: streams (a-band, c-band, witness-band) tile
+// triples from a shard::TileStore through the branch-free witness kernels,
+// honoring a user-set memory budget via a shard::TileCache.
+//
+// The budget governs the *delay-matrix* working set. The all_severities
+// result is still an in-memory SeverityMatrix (N^2 floats), so that entry
+// point's total footprint is O(budget) + O(N^2) for the output;
+// violating_triangle_fraction is O(budget) end to end. Streaming the
+// severity output is a ROADMAP follow-up.
+//
+// Results are bit-identical to the in-memory TivAnalyzer path: tiles are
+// the packed view cut at lane-aligned column boundaries, the streamed scan
+// feeds the same accumulator lanes in ascending column order, and the final
+// reduction tree is shared (core/witness_kernels.hpp). See
+// docs/PERFORMANCE.md ("Sharded storage & out-of-core severity").
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/severity.hpp"
+#include "shard/tile_cache.hpp"
+#include "shard/tile_store.hpp"
+
+namespace tiv::core {
+
+/// Bytes the in-memory DelayMatrixView of an n-host matrix would occupy
+/// (padded delay rows + bitmask rows + alignment slack) — the quantity the
+/// auto-selection below compares against the budget.
+std::size_t packed_view_bytes(HostId n);
+
+/// All-edges severity matrix computed by streaming tiles of `store` through
+/// `cache`. Bit-identical to TivAnalyzer::all_severities on the matrix the
+/// store serialized. The band-pair loop is dynamically scheduled over the
+/// parallel pool; tile loads for the next witness band are prefetched on
+/// the cache's background I/O thread while the current band computes.
+SeverityMatrix all_severities_streamed(const shard::TileStore& store,
+                                       shard::TileCache& cache);
+
+/// Exact violating-triangle fraction, streamed. Matches
+/// TivAnalyzer::violating_triangle_fraction(0) bit for bit (the reduction
+/// is integer counting; the final division is the same arithmetic).
+double violating_triangle_fraction_streamed(const shard::TileStore& store,
+                                            shard::TileCache& cache);
+
+/// Policy + plumbing for the auto-selecting entry points.
+struct OutOfCoreConfig {
+  /// Budget for delay-matrix storage during the analysis. 0 = unbounded
+  /// (always run in memory). When the packed view exceeds the budget the
+  /// matrix is spilled to a TileStore and streamed with a cache of this
+  /// many bytes.
+  std::size_t memory_budget_bytes = 0;
+  std::uint32_t tile_dim = shard::kDefaultTileDim;
+  /// Spill file path; "" derives a unique name under the system temp
+  /// directory. The file is deleted after the analysis unless keep_spill.
+  std::string spill_path;
+  bool keep_spill = false;
+};
+
+/// What the auto-selection did, for benches/tests.
+struct OutOfCoreReport {
+  bool out_of_core = false;
+  shard::CacheStats cache;  ///< zero-initialized when in-memory
+};
+
+/// TivAnalyzer::all_severities when the packed view fits the budget,
+/// spill-and-stream otherwise. Either way the result is the same matrix.
+SeverityMatrix all_severities_budgeted(const DelayMatrix& m,
+                                       const OutOfCoreConfig& config,
+                                       OutOfCoreReport* report = nullptr);
+
+/// Budget-aware violating_triangle_fraction (exact mode only).
+double violating_triangle_fraction_budgeted(const DelayMatrix& m,
+                                            const OutOfCoreConfig& config,
+                                            OutOfCoreReport* report = nullptr);
+
+}  // namespace tiv::core

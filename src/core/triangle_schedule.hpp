@@ -1,0 +1,42 @@
+// Dynamically scheduled traversal of the upper triangle of a square grid —
+// the work decomposition shared by the in-memory severity kernel (16-row
+// tiles, severity.cpp) and the out-of-core streaming driver (store-sized
+// bands, shard_severity.cpp).
+#pragma once
+
+#include <cstddef>
+
+#include "util/parallel.hpp"
+
+namespace tiv::core {
+
+/// Runs fn(i, j) over all pairs 0 <= i <= j < count, dynamically scheduled
+/// over the parallel pool (grain: one linear chunk per claim) so the
+/// triangular workload balances. Pairs are walked row-major within the
+/// triangle — consecutive pairs share i — which is what the callers'
+/// cache-reuse arguments rely on.
+template <typename PairFn>
+void for_each_triangle_pair(std::size_t count, PairFn&& fn) {
+  const std::size_t pairs = count * (count + 1) / 2;
+  parallel_for_dynamic(pairs, 1, [&](std::size_t begin, std::size_t end) {
+    // Decode the linear index into (i, j), i <= j, walking rows of the
+    // triangle. O(count) per chunk — negligible next to any real pair
+    // body.
+    std::size_t i = 0;
+    std::size_t rem = begin;
+    while (rem >= count - i) {
+      rem -= count - i;
+      ++i;
+    }
+    std::size_t j = i + rem;
+    for (std::size_t k = begin; k < end; ++k) {
+      fn(i, j);
+      if (++j == count) {
+        ++i;
+        j = i;
+      }
+    }
+  });
+}
+
+}  // namespace tiv::core

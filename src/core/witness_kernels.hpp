@@ -1,0 +1,96 @@
+// Branch-free witness-scan primitives shared by the in-memory severity
+// kernel (severity.cpp) and the out-of-core streaming driver
+// (shard_severity.cpp).
+//
+// All functions scan packed-view data: missing entries are
+// DelayMatrixView::kMaskedDelay (huge), the diagonal is 0, so missing-leg
+// and self-witness exclusions are implicit (see delay_matrix.hpp). The
+// loop bodies are pure arithmetic + compares and auto-vectorize.
+//
+// The ratio accumulation is split into accumulate + reduce so a caller can
+// feed witnesses in column chunks: kWitnessLanes independent accumulators,
+// lane l taking columns b with b % kWitnessLanes == l. As long as chunks
+// are multiples of kWitnessLanes and arrive in ascending column order, the
+// per-lane addition sequences — and therefore the reduced double — are
+// bit-identical whether the scan ran over one contiguous row or over tiles
+// streamed from disk. Masked/padding columns contribute exactly +0.0,
+// which is an exact no-op on the non-negative partial sums, so differing
+// amounts of tail padding between the two paths cannot change the result.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace tiv::core {
+
+/// Independent accumulator lanes of the ratio reduction. A divisor of
+/// DelayMatrixView::kLaneFloats, so both the view's row padding and any
+/// tile width that is a multiple of the lane count preserve lane phase.
+inline constexpr std::size_t kWitnessLanes = 8;
+
+/// Adds to acc[kWitnessLanes] the triangulation ratios d_ac / (d_ab + d_bc)
+/// of violating witnesses (detour < d_ac, detour > 0) in columns
+/// [0, len) of packed rows ra/rc. len must be a multiple of kWitnessLanes.
+/// Lane phase follows the caller's global column offset: pass rows whose
+/// column 0 is a multiple of kWitnessLanes globally.
+inline void witness_ratio_accumulate(const float* ra, const float* rc,
+                                     std::size_t len, float dac,
+                                     double* acc) {
+  for (std::size_t b = 0; b < len; b += kWitnessLanes) {
+    for (std::size_t l = 0; l < kWitnessLanes; ++l) {
+      const float detour = ra[b + l] + rc[b + l];
+      const bool violates = (detour < dac) & (detour > 0.0f);
+      // Unconditional division with a blended-safe divisor: cheaper than a
+      // branch per witness and keeps the loop if-convertible. Double
+      // division so each term is bit-identical to the scalar reference
+      // (only the summation order differs).
+      const double ratio = static_cast<double>(dac) /
+                           (violates ? static_cast<double>(detour) : 1.0);
+      acc[l] += violates ? ratio : 0.0;
+    }
+  }
+}
+
+/// Fixed pairwise reduction of the lane accumulators. Deterministic order;
+/// every caller must use this (not a left-to-right sum) so partial-sum
+/// paths match the monolithic scan bit for bit.
+inline double witness_ratio_reduce(const double* acc) {
+  static_assert(kWitnessLanes == 8, "reduction tree is written for 8 lanes");
+  return ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+         ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+}
+
+/// Number of witnesses b in [0, len) with detour < d_ac. Unlike the ratio
+/// scan there is no detour > 0 exclusion: a measured zero-length detour
+/// violates the triangle inequality for counting purposes (matches the
+/// scalar violating_triangle_fraction reference). Exact integer math, so
+/// chunked calls sum to the monolithic count in any order.
+inline std::size_t witness_violation_count(const float* ra, const float* rc,
+                                           std::size_t len, float dac) {
+  std::size_t acc[kWitnessLanes] = {};
+  for (std::size_t b = 0; b < len; b += kWitnessLanes) {
+    for (std::size_t l = 0; l < kWitnessLanes; ++l) {
+      const float detour = ra[b + l] + rc[b + l];
+      acc[l] += detour < dac ? 1u : 0u;
+    }
+  }
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < kWitnessLanes; ++l) total += acc[l];
+  return total;
+}
+
+/// Witnesses with both legs measured: popcount over the AND of two
+/// missing-entry bitmask rows (a row's own bit is never set, so b == a and
+/// b == c fall out automatically). Chunk-sum-safe like the count above.
+inline std::size_t masked_witness_count(const std::uint64_t* ma,
+                                        const std::uint64_t* mc,
+                                        std::size_t words) {
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    count += static_cast<std::size_t>(std::popcount(ma[w] & mc[w]));
+  }
+  return count;
+}
+
+}  // namespace tiv::core

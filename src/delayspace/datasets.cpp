@@ -40,6 +40,16 @@ std::uint32_t dataset_full_size(DatasetId id) {
 
 DelaySpaceParams dataset_params(DatasetId id,
                                 std::uint32_t num_hosts_override) {
+  // The presets stand in for measured matrices of a fixed size; an override
+  // is a reduced-scale run, never an upscale (see datasets.hpp). Thrown,
+  // not assert()ed: the override is reachable from bench/example CLI flags
+  // and must fail loudly in Release too, like dataset_full_size above.
+  if (num_hosts_override > dataset_full_size(id)) {
+    throw std::invalid_argument(
+        "dataset_params: num_hosts_override " +
+        std::to_string(num_hosts_override) + " exceeds " + dataset_name(id) +
+        " full size " + std::to_string(dataset_full_size(id)));
+  }
   DelaySpaceParams p;
   const std::uint32_t hosts =
       num_hosts_override != 0 ? num_hosts_override : dataset_full_size(id);

@@ -30,8 +30,21 @@ std::string dataset_name(DatasetId id);
 /// Paper-scale host count of the dataset.
 std::uint32_t dataset_full_size(DatasetId id);
 
-/// Generator parameters for the preset. num_hosts_override != 0 scales the
-/// host count (AS count scales proportionally, floored to stay realistic).
+/// Generator parameters for the preset.
+///
+/// num_hosts_override != 0 scales the host count DOWN from the paper-scale
+/// full size; asking for more hosts than the dataset it stands in for is a
+/// caller bug and throws std::invalid_argument (the override is reachable
+/// from CLI flags, so it must fail loudly in Release builds too). The AS
+/// count scales
+/// proportionally with the override (hosts / 8; hosts / 3 for PlanetLab)
+/// but is floored — at 60 ASes, 50 for PlanetLab — so that strongly
+/// reduced runs keep a structurally interesting topology instead of
+/// collapsing to a handful of ASes. Consequence: below ~480 hosts
+/// (~150 for PlanetLab) the hosts-per-AS ratio shrinks with the override
+/// rather than staying at the full-scale ratio, which thins per-AS host
+/// clusters; severity *tails* are stable across scales but per-AS cluster
+/// statistics are not.
 DelaySpaceParams dataset_params(DatasetId id,
                                 std::uint32_t num_hosts_override = 0);
 

@@ -79,12 +79,33 @@ DelayMatrix DelayMatrix::load(const std::string& path) {
   return m;
 }
 
+namespace {
+
+std::size_t view_stride(HostId n) {
+  const std::size_t stride =
+      ((static_cast<std::size_t>(n) + DelayMatrixView::kLaneFloats - 1) /
+       DelayMatrixView::kLaneFloats) *
+      DelayMatrixView::kLaneFloats;
+  return stride == 0 ? DelayMatrixView::kLaneFloats : stride;
+}
+
+std::size_t view_mask_words(HostId n) {
+  const std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
+  return words == 0 ? 1 : words;
+}
+
+}  // namespace
+
+std::size_t DelayMatrixView::bytes_for(HostId n) {
+  return (static_cast<std::size_t>(n) * view_stride(n) + kLaneFloats) *
+             sizeof(float) +
+         static_cast<std::size_t>(n) * view_mask_words(n) *
+             sizeof(std::uint64_t);
+}
+
 DelayMatrixView::DelayMatrixView(const DelayMatrix& m) : n_(m.size()) {
-  stride_ = ((static_cast<std::size_t>(n_) + kLaneFloats - 1) / kLaneFloats) *
-            kLaneFloats;
-  if (stride_ == 0) stride_ = kLaneFloats;
-  mask_words_ = (static_cast<std::size_t>(n_) + 63) / 64;
-  if (mask_words_ == 0) mask_words_ = 1;
+  stride_ = view_stride(n_);
+  mask_words_ = view_mask_words(n_);
 
   // 64-byte-aligned delay rows; std::vector gives no alignment guarantee
   // beyond alignof(float), so over-allocate and align the base by hand.
@@ -103,21 +124,27 @@ DelayMatrixView::DelayMatrixView(const DelayMatrix& m) : n_(m.size()) {
 
   masks_.assign(static_cast<std::size_t>(n_) * mask_words_, 0);
   for (HostId i = 0; i < n_; ++i) {
-    float* out = delays_ + i * stride_;
-    std::uint64_t* mask = masks_.data() + i * mask_words_;
-    const auto row = m.row(i);
-    for (HostId b = 0; b < n_; ++b) {
-      const float d = row[b];
-      if (b == i) {
-        out[b] = 0.0f;  // diagonal: keeps the b==a/b==c self-exclusion trick
-      } else if (d >= 0.0f) {
-        out[b] = d;
-        mask[b >> 6] |= std::uint64_t{1} << (b & 63);
-      } else {
-        out[b] = kMaskedDelay;
-      }
-    }
+    pack_row_segment(m, i, 0, n_, delays_ + i * stride_,
+                     masks_.data() + i * mask_words_);
     // padding columns [n_, stride_) already hold kMaskedDelay
+  }
+}
+
+void DelayMatrixView::pack_row_segment(const DelayMatrix& m, HostId i,
+                                       HostId col_begin, HostId col_end,
+                                       float* out, std::uint64_t* mask) {
+  const auto row = m.row(i);
+  for (HostId b = col_begin; b < col_end; ++b) {
+    const std::size_t lb = b - col_begin;
+    const float d = row[b];
+    if (b == i) {
+      out[lb] = 0.0f;  // diagonal: keeps the b==a/b==c self-exclusion trick
+    } else if (d >= 0.0f) {
+      out[lb] = d;
+      mask[lb >> 6] |= std::uint64_t{1} << (lb & 63);
+    } else {
+      out[lb] = kMaskedDelay;
+    }
   }
 }
 

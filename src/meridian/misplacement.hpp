@@ -19,8 +19,9 @@ struct MisplacementParams {
   double beta = 0.5;
   double bin_width_ms = 10.0;
   double max_delay_ms = 1000.0;
-  /// Sample this many ordered (Ni, Nj) pairs (0 = all pairs; the full scan
-  /// is O(N^3)).
+  /// Sample this many distinct ordered (Ni, Nj) pairs, without replacement
+  /// (0 = all pairs; the full scan is O(N^3)). Near-exhaustive sampling may
+  /// return fewer pairs than asked (duplicates consume retry attempts).
   std::size_t sample_pairs = 0;
   std::uint64_t seed = 13;
 };

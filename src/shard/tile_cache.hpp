@@ -1,0 +1,137 @@
+// Memory-budgeted, thread-safe LRU cache mapping TileStore tiles back into
+// RAM as view-compatible blocks.
+//
+// Concurrency model: one mutex guards the map/LRU bookkeeping; tile I/O
+// runs outside it, so distinct tiles load in parallel from however many
+// threads the severity driver's parallel loop runs. A thread requesting a
+// tile another thread is already loading waits on a condition variable
+// instead of issuing a duplicate read (no cache stampede).
+//
+// Budget accounting counts every resident tile (loaded entries plus
+// in-flight loads, whose bytes are reserved before the read starts).
+// Eviction walks from the least recently used end, skipping entries pinned
+// by an outstanding TileRef (use_count > 1) — a pinned tile is never
+// removed from the map, so a tile's bytes are released exactly when its
+// entry is erased. The hard invariant is therefore: peak bytes <=
+// max(budget, largest simultaneous pinned set). The streaming driver pins
+// a handful of tiles per thread, so any sane budget dominates and
+// stats().peak_bytes stays under it.
+//
+// Prefetch rides the pool-friendly util/BackgroundQueue: hints are shed
+// (not queued unboundedly, never blocking the compute thread) when the I/O
+// worker falls behind.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include <condition_variable>
+#include <mutex>
+
+#include "shard/tile_store.hpp"
+#include "util/background_queue.hpp"
+
+namespace tiv::shard {
+
+/// A tile resident in memory: the packed-view block for rows
+/// [row_band*T, ..+T) x columns [col_band*T, ..+T). Payload rows are
+/// 64-byte aligned (tile_dim is a multiple of 16 floats), ready for the
+/// branch-free witness kernels.
+class Tile {
+ public:
+  Tile(std::uint32_t tile_dim, std::size_t payload_floats,
+       std::size_t mask_words);
+
+  /// Payload row lr (tile-local), tile_dim floats.
+  const float* row(std::size_t lr) const {
+    return payload_.get() + lr * tile_dim_;
+  }
+  /// Bitmask row lr, mask_words_per_row words.
+  const std::uint64_t* mask_row(std::size_t lr) const {
+    return masks_.data() + lr * words_per_row_;
+  }
+
+  float* payload() { return payload_.get(); }
+  std::uint64_t* masks() { return masks_.data(); }
+
+ private:
+  struct AlignedFree {
+    void operator()(float* p) const { ::operator delete[](p, kAlignVal); }
+  };
+  static constexpr std::align_val_t kAlignVal{64};
+
+  std::uint32_t tile_dim_;
+  std::size_t words_per_row_;
+  std::unique_ptr<float[], AlignedFree> payload_;
+  std::vector<std::uint64_t> masks_;
+};
+
+using TileRef = std::shared_ptr<const Tile>;
+
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;       ///< tiles loaded from disk (incl. prefetch)
+  std::size_t evictions = 0;
+  std::size_t peak_bytes = 0;   ///< high-water mark of live tile bytes
+  std::size_t current_bytes = 0;
+  std::size_t prefetch_drops = 0;  ///< hints shed by the background queue
+
+  double hit_rate() const {
+    const std::size_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class TileCache {
+ public:
+  /// The cache keeps a reference to `store`; it must outlive the cache, and
+  /// the cache must outlive every TileRef it hands out.
+  TileCache(const TileStore& store, std::size_t budget_bytes);
+
+  TileCache(const TileCache&) = delete;
+  TileCache& operator=(const TileCache&) = delete;
+
+  /// Returns tile (r, c), loading it from the store on a miss. Thread-safe;
+  /// blocks only when another thread is already loading the same tile.
+  TileRef acquire(std::uint32_t r, std::uint32_t c);
+
+  /// Hints that tile (r, c) will be needed soon: loads it into the cache on
+  /// the background I/O thread. Never blocks; the hint is dropped when the
+  /// I/O worker is saturated or the tile is already resident/loading.
+  void prefetch(std::uint32_t r, std::uint32_t c);
+
+  std::size_t budget_bytes() const { return budget_; }
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    TileRef tile;            ///< null while loading
+    bool loading = false;
+    std::list<std::uint64_t>::iterator lru;  ///< valid once loaded
+  };
+
+  std::uint64_t key(std::uint32_t r, std::uint32_t c) const {
+    return (static_cast<std::uint64_t>(r) << 32) | c;
+  }
+  TileRef load_and_publish(std::uint64_t k, std::uint32_t r, std::uint32_t c,
+                           std::unique_lock<std::mutex>& lk);
+  void evict_for_locked(std::size_t incoming_bytes);
+
+  const TileStore& store_;
+  const std::size_t budget_;
+  const std::size_t tile_footprint_;  ///< bytes one resident tile accounts
+
+  mutable std::mutex mutex_;
+  std::condition_variable loaded_cv_;
+  std::unordered_map<std::uint64_t, Entry> map_;
+  std::list<std::uint64_t> lru_;  ///< front = most recently used
+  CacheStats stats_;
+
+  BackgroundQueue prefetcher_{16};
+};
+
+}  // namespace tiv::shard

@@ -1,0 +1,204 @@
+#include "shard/tile_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace tiv::shard {
+namespace {
+
+using delayspace::DelayMatrixView;
+
+constexpr char kMagic[8] = {'T', 'I', 'V', 'S', 'H', 'R', 'D', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kAlign = 64;
+
+// Fixed-width, padding-free on-disk header (40 bytes).
+struct RawHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t n;
+  std::uint32_t tile_dim;
+  std::uint32_t tiles;
+  std::uint64_t tile_bytes;
+  std::uint64_t data_offset;
+};
+static_assert(sizeof(RawHeader) == 40);
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("TileStore: " + what + ": " + path);
+}
+
+void fwrite_all(const void* data, std::size_t bytes, std::FILE* f,
+                const std::string& path) {
+  if (std::fwrite(data, 1, bytes, f) != bytes) fail("write failed", path);
+}
+
+}  // namespace
+
+void TileStore::write_matrix(const std::string& path, const DelayMatrix& m,
+                             std::uint32_t tile_dim) {
+  if (tile_dim == 0 || tile_dim % DelayMatrixView::kLaneFloats != 0) {
+    throw std::invalid_argument(
+        "TileStore::write_matrix: tile_dim must be a nonzero multiple of " +
+        std::to_string(DelayMatrixView::kLaneFloats));
+  }
+  const HostId n = m.size();
+  const std::uint32_t tiles = (n + tile_dim - 1) / tile_dim;
+  const std::size_t payload_floats =
+      static_cast<std::size_t>(tile_dim) * tile_dim;
+  const std::size_t words_per_row = (tile_dim + 63) / 64;
+  const std::size_t mask_words = tile_dim * words_per_row;
+  const std::size_t tile_bytes =
+      payload_floats * sizeof(float) + mask_words * sizeof(std::uint64_t);
+
+  const std::size_t index_bytes =
+      static_cast<std::size_t>(tiles) * tiles * sizeof(std::uint64_t);
+  const std::size_t data_offset =
+      ((sizeof(RawHeader) + index_bytes + kAlign - 1) / kAlign) * kAlign;
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) fail("cannot open for writing", path);
+
+  RawHeader h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.version = kVersion;
+  h.n = n;
+  h.tile_dim = tile_dim;
+  h.tiles = tiles;
+  h.tile_bytes = tile_bytes;
+  h.data_offset = data_offset;
+  fwrite_all(&h, sizeof(h), f, path);
+
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(tiles) * tiles);
+  for (std::size_t t = 0; t < offsets.size(); ++t) {
+    offsets[t] = data_offset + t * tile_bytes;
+  }
+  if (!offsets.empty()) {
+    fwrite_all(offsets.data(), index_bytes, f, path);
+  }
+  const std::vector<char> pad(
+      data_offset - sizeof(RawHeader) - index_bytes, 0);
+  if (!pad.empty()) fwrite_all(pad.data(), pad.size(), f, path);
+
+  // Stream one tile at a time, walking a tile-row band of the source so the
+  // writer's working set is one tile, not the packed view.
+  std::vector<float> payload(payload_floats);
+  std::vector<std::uint64_t> masks(mask_words);
+  for (std::uint32_t tr = 0; tr < tiles; ++tr) {
+    for (std::uint32_t tc = 0; tc < tiles; ++tc) {
+      payload.assign(payload_floats, DelayMatrixView::kMaskedDelay);
+      masks.assign(mask_words, 0);
+      const HostId row_end =
+          std::min<HostId>(n, static_cast<HostId>(tr + 1) * tile_dim);
+      const HostId col_base = static_cast<HostId>(tc) * tile_dim;
+      const HostId col_end = std::min<HostId>(n, col_base + tile_dim);
+      for (HostId i = static_cast<HostId>(tr) * tile_dim; i < row_end; ++i) {
+        const std::size_t lr = i - static_cast<HostId>(tr) * tile_dim;
+        // Shared encoding definition — bit-identity with the in-memory
+        // view depends on writing exactly its representation.
+        DelayMatrixView::pack_row_segment(
+            m, i, col_base, col_end, payload.data() + lr * tile_dim,
+            masks.data() + lr * words_per_row);
+      }
+      fwrite_all(payload.data(), payload_floats * sizeof(float), f, path);
+      fwrite_all(masks.data(), mask_words * sizeof(std::uint64_t), f, path);
+    }
+  }
+  if (std::fclose(f) != 0) fail("close failed", path);
+}
+
+TileStore TileStore::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("cannot open", path);
+  TileStore s;
+  s.path_ = path;
+  s.fd_ = fd;
+
+  RawHeader h{};
+  if (::pread(fd, &h, sizeof(h), 0) != static_cast<ssize_t>(sizeof(h))) {
+    fail("short header", path);
+  }
+  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
+    fail("bad magic", path);
+  }
+  if (h.version != kVersion) fail("unsupported version", path);
+  if (h.tile_dim == 0 || h.tile_dim % DelayMatrixView::kLaneFloats != 0 ||
+      h.tiles != (h.n + h.tile_dim - 1) / h.tile_dim) {
+    fail("inconsistent header", path);
+  }
+  s.n_ = h.n;
+  s.tile_dim_ = h.tile_dim;
+  s.tiles_ = h.tiles;
+  if (h.tile_bytes != s.tile_bytes()) fail("tile size mismatch", path);
+
+  s.tile_offsets_.resize(static_cast<std::size_t>(s.tiles_) * s.tiles_);
+  const std::size_t index_bytes =
+      s.tile_offsets_.size() * sizeof(std::uint64_t);
+  if (!s.tile_offsets_.empty() &&
+      ::pread(fd, s.tile_offsets_.data(), index_bytes, sizeof(RawHeader)) !=
+          static_cast<ssize_t>(index_bytes)) {
+    fail("short index", path);
+  }
+  return s;
+}
+
+TileStore::TileStore(TileStore&& o) noexcept
+    : path_(std::move(o.path_)),
+      fd_(std::exchange(o.fd_, -1)),
+      n_(o.n_),
+      tile_dim_(o.tile_dim_),
+      tiles_(o.tiles_),
+      tile_offsets_(std::move(o.tile_offsets_)) {}
+
+TileStore& TileStore::operator=(TileStore&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(o.path_);
+    fd_ = std::exchange(o.fd_, -1);
+    n_ = o.n_;
+    tile_dim_ = o.tile_dim_;
+    tiles_ = o.tiles_;
+    tile_offsets_ = std::move(o.tile_offsets_);
+  }
+  return *this;
+}
+
+TileStore::~TileStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint32_t TileStore::band_rows(std::uint32_t r) const {
+  assert(r < tiles_);
+  const std::size_t base = static_cast<std::size_t>(r) * tile_dim_;
+  return static_cast<std::uint32_t>(
+      std::min<std::size_t>(tile_dim_, n_ - base));
+}
+
+void TileStore::read_tile(std::uint32_t r, std::uint32_t c, float* payload,
+                          std::uint64_t* masks) const {
+  assert(r < tiles_ && c < tiles_);
+  const std::uint64_t off =
+      tile_offsets_[static_cast<std::size_t>(r) * tiles_ + c];
+  const std::size_t payload_bytes = payload_floats() * sizeof(float);
+  const std::size_t mask_bytes = mask_words() * sizeof(std::uint64_t);
+  if (::pread(fd_, payload, payload_bytes, static_cast<off_t>(off)) !=
+      static_cast<ssize_t>(payload_bytes)) {
+    fail("short tile payload read", path_);
+  }
+  if (::pread(fd_, masks, mask_bytes,
+              static_cast<off_t>(off + payload_bytes)) !=
+      static_cast<ssize_t>(mask_bytes)) {
+    fail("short tile mask read", path_);
+  }
+}
+
+}  // namespace tiv::shard

@@ -1,0 +1,112 @@
+// On-disk tiled delay-matrix store — the out-of-core backing for host
+// counts whose packed DelayMatrixView no longer fits in memory (the
+// ROADMAP's N >= 1e5 target needs ~40 GB per float matrix).
+//
+// A store is the serialized form of a DelayMatrixView, cut into fixed-size
+// square tiles of tile_dim x tile_dim entries (tile_dim a multiple of
+// DelayMatrixView::kLaneFloats). Tile (r, c) holds the view entries for
+// rows [r*T, r*T + T) x columns [c*T, c*T + T):
+//
+//   payload  tile_dim rows of tile_dim floats, exactly the view's packed
+//            representation: missing entries are kMaskedDelay, the diagonal
+//            is 0, rows/columns beyond the matrix edge are kMaskedDelay
+//            padding. A loaded tile therefore drops straight into the
+//            branch-free witness kernels with no fixup pass.
+//   masks    per-row missing-entry bitmasks for the tile's column range:
+//            ceil(tile_dim / 64) words per row, bit b set iff global entry
+//            (r*T + row, c*T + b) is a usable measurement. Padding bits are
+//            zero, so chunked AND+popcount witness counting over tiles sums
+//            to the full-row counts.
+//
+// Every tile has the same byte size (edge tiles are padded), so the tile
+// index is a flat offset table. File layout:
+//
+//   [header][index: tiles_per_side^2 u64 offsets][64B pad][tile 0][tile 1]..
+//
+// Tiles start 64-byte aligned within the file and payload precedes masks
+// within a tile; with tile_dim % 16 == 0 both sections are themselves
+// multiples of 64 bytes, so an aligned in-memory destination keeps every
+// payload row cache-line aligned for the SIMD kernels.
+//
+// Writing streams one tile-row band of the source matrix at a time (O(T*N)
+// memory), so a store can be produced without ever materializing the packed
+// view. Reading uses pread(2) and is safe from concurrent threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "delayspace/delay_matrix.hpp"
+
+namespace tiv::shard {
+
+using delayspace::DelayMatrix;
+using delayspace::HostId;
+
+/// Default tile edge: 64 rows x 64 cols x 4 B = 16 KiB payload per tile —
+/// large enough that pread cost amortizes, small enough that a few-MB cache
+/// budget holds dozens of tiles.
+inline constexpr std::uint32_t kDefaultTileDim = 64;
+
+class TileStore {
+ public:
+  /// Serializes `m` to `path` as a tiled store. tile_dim must be a nonzero
+  /// multiple of DelayMatrixView::kLaneFloats (throws std::invalid_argument
+  /// otherwise); throws std::runtime_error on I/O failure.
+  static void write_matrix(const std::string& path, const DelayMatrix& m,
+                           std::uint32_t tile_dim = kDefaultTileDim);
+
+  /// Opens an existing store. Throws std::runtime_error on a missing file
+  /// or a malformed/mismatched header.
+  static TileStore open(const std::string& path);
+
+  TileStore(TileStore&& o) noexcept;
+  TileStore& operator=(TileStore&& o) noexcept;
+  TileStore(const TileStore&) = delete;
+  TileStore& operator=(const TileStore&) = delete;
+  ~TileStore();
+
+  HostId size() const { return n_; }
+  std::uint32_t tile_dim() const { return tile_dim_; }
+  std::uint32_t tiles_per_side() const { return tiles_; }
+
+  /// Floats in a tile payload (tile_dim^2).
+  std::size_t payload_floats() const {
+    return static_cast<std::size_t>(tile_dim_) * tile_dim_;
+  }
+  /// Bitmask words per tile row (ceil(tile_dim / 64)).
+  std::size_t mask_words_per_row() const { return (tile_dim_ + 63) / 64; }
+  /// Bitmask words in a whole tile.
+  std::size_t mask_words() const { return tile_dim_ * mask_words_per_row(); }
+  /// Serialized tile size (payload + masks), a multiple of 64 bytes.
+  std::size_t tile_bytes() const {
+    return payload_floats() * sizeof(float) +
+           mask_words() * sizeof(std::uint64_t);
+  }
+
+  /// Rows of tile-row band r that carry real matrix rows (tile_dim except
+  /// for the last band).
+  std::uint32_t band_rows(std::uint32_t r) const;
+
+  /// Reads tile (r, c) into caller-provided buffers: payload_floats()
+  /// floats and mask_words() words. Thread-safe (positional reads). Throws
+  /// std::runtime_error on I/O failure.
+  void read_tile(std::uint32_t r, std::uint32_t c, float* payload,
+                 std::uint64_t* masks) const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  TileStore() = default;
+
+  std::string path_;
+  int fd_ = -1;
+  HostId n_ = 0;
+  std::uint32_t tile_dim_ = 0;
+  std::uint32_t tiles_ = 0;
+  std::vector<std::uint64_t> tile_offsets_;  ///< flat index, row-major
+};
+
+}  // namespace tiv::shard

@@ -1,0 +1,53 @@
+#include "util/background_queue.hpp"
+
+#include <utility>
+
+namespace tiv {
+
+BackgroundQueue::~BackgroundQueue() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+    tasks_.clear();  // pending hints are worthless once the owner dies
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+bool BackgroundQueue::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (stop_) return false;
+    if (tasks_.size() >= capacity_) {
+      ++dropped_;
+      return false;
+    }
+    tasks_.push_back(std::move(task));
+    if (!started_) {
+      started_ = true;
+      worker_ = std::thread([this] { worker_loop(); });
+    }
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::size_t BackgroundQueue::dropped() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return dropped_;
+}
+
+void BackgroundQueue::worker_loop() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  for (;;) {
+    cv_.wait(lk, [&] { return stop_ || !tasks_.empty(); });
+    if (stop_) return;
+    auto task = std::move(tasks_.front());
+    tasks_.pop_front();
+    lk.unlock();
+    task();  // runs unlocked; exceptions would terminate, like pool workers
+    lk.lock();
+  }
+}
+
+}  // namespace tiv

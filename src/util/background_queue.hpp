@@ -1,0 +1,63 @@
+// Pool-friendly background task queue for overlapping I/O with compute.
+//
+// The parallel pool in util/parallel is single-occupancy: a worker that
+// blocked on disk reads would stall every compute chunk behind it, and a
+// nested parallel call runs inline anyway. Prefetching therefore needs its
+// own (tiny) execution resource. BackgroundQueue is that resource: one
+// dedicated thread draining a bounded FIFO of fire-and-forget tasks.
+//
+// Design points that keep it pool-friendly:
+//  - Enqueue never blocks: when the queue is full the task is dropped and
+//    enqueue returns false. A prefetch is a hint — the consumer will load
+//    the data on demand if the hint was shed — so compute threads (which
+//    may themselves be pool workers) never wait on the I/O thread.
+//  - One worker thread, started lazily on first enqueue, so constructing a
+//    queue that is never used (e.g. prefetch disabled) costs nothing.
+//  - The destructor drains nothing: pending tasks are discarded, the
+//    in-flight task (if any) is completed. Callers must ensure any state a
+//    task touches outlives the queue (TileCache owns its queue and destroys
+//    it first).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace tiv {
+
+class BackgroundQueue {
+ public:
+  /// capacity bounds the number of queued-but-not-started tasks; further
+  /// enqueues are shed (return false) until the worker catches up.
+  explicit BackgroundQueue(std::size_t capacity = 16) : capacity_(capacity) {}
+
+  BackgroundQueue(const BackgroundQueue&) = delete;
+  BackgroundQueue& operator=(const BackgroundQueue&) = delete;
+
+  ~BackgroundQueue();
+
+  /// Schedules task on the worker thread. Returns false (task not run) when
+  /// the queue is at capacity or shutting down. Never blocks beyond the
+  /// internal mutex.
+  bool enqueue(std::function<void()> task);
+
+  /// Tasks shed because the queue was full (monotonic; for stats/tests).
+  std::size_t dropped() const;
+
+ private:
+  void worker_loop();
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::thread worker_;
+  bool started_ = false;
+  bool stop_ = false;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace tiv

@@ -214,6 +214,16 @@ TEST(Datasets, OverrideScalesHostsAndAses) {
   EXPECT_EQ(ds.measured.size(), 320u);
 }
 
+TEST(Datasets, OverrideAboveFullSizeThrows) {
+  // The presets stand in for measured matrices of a fixed size; upscaling
+  // past the paper-scale full size is a caller bug and must fail loudly
+  // in Release too (the override is reachable from CLI flags).
+  EXPECT_THROW(dataset_params(DatasetId::kDs2, 4001), std::invalid_argument);
+  EXPECT_THROW(dataset_params(DatasetId::kPlanetLab, 230),
+               std::invalid_argument);
+  EXPECT_NO_THROW(dataset_params(DatasetId::kDs2, 4000));
+}
+
 TEST(Datasets, PresetsDiffer) {
   const DelaySpace ds2 = make_dataset(DatasetId::kDs2, 100);
   const DelaySpace mer = make_dataset(DatasetId::kMeridian, 100);

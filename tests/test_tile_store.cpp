@@ -1,0 +1,299 @@
+// Tests for the out-of-core shard subsystem: TileStore round-tripping the
+// packed-view representation, TileCache budget/eviction accounting, and the
+// streaming severity driver's bit-identical equivalence to the in-memory
+// kernel — on dense and 30%-missing matrices, across tile sizes that do and
+// do not divide N, and under a tiny cache budget that forces eviction.
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/shard_severity.hpp"
+#include "core/severity.hpp"
+#include "delayspace/delay_matrix.hpp"
+#include "shard/tile_cache.hpp"
+#include "shard/tile_store.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace tiv::core {
+namespace {
+
+using delayspace::DelayMatrix;
+using delayspace::DelayMatrixView;
+using delayspace::HostId;
+using shard::TileCache;
+using shard::TileStore;
+
+DelayMatrix random_matrix(HostId n, double missing_fraction,
+                          std::uint64_t seed) {
+  DelayMatrix m(n);
+  Rng rng(seed);
+  for (HostId i = 0; i < n; ++i) {
+    for (HostId j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(missing_fraction)) continue;
+      m.set(i, j, static_cast<float>(rng.uniform(1.0, 400.0)));
+    }
+  }
+  return m;
+}
+
+/// Unique scratch path; removed by the fixture-less tests themselves.
+std::string scratch_path(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("tiv_test_" + tag + "_" + std::to_string(::testing::UnitTest::
+                                                        GetInstance()
+                                                            ->random_seed()) +
+           ".tiles"))
+      .string();
+}
+
+void expect_streamed_matches_in_memory(const DelayMatrix& m,
+                                       std::uint32_t tile_dim,
+                                       std::size_t budget_bytes,
+                                       bool expect_evictions) {
+  const std::string path = scratch_path(
+      "equiv_n" + std::to_string(m.size()) + "_t" + std::to_string(tile_dim));
+  TileStore::write_matrix(path, m, tile_dim);
+  const TileStore store = TileStore::open(path);
+  TileCache cache(store, budget_bytes);
+
+  const SeverityMatrix streamed = all_severities_streamed(store, cache);
+  const SeverityMatrix in_memory = TivAnalyzer(m).all_severities();
+  const HostId n = m.size();
+  for (HostId i = 0; i < n; ++i) {
+    for (HostId j = i + 1; j < n; ++j) {
+      // Bit-for-bit: the streamed driver feeds the same accumulator lanes
+      // in the same order as the monolithic row scan.
+      EXPECT_EQ(streamed.at(i, j), in_memory.at(i, j))
+          << "edge (" << i << ", " << j << ")";
+    }
+  }
+
+  const double streamed_frac = violating_triangle_fraction_streamed(
+      store, cache);
+  const double in_memory_frac = TivAnalyzer(m).violating_triangle_fraction();
+  EXPECT_EQ(streamed_frac, in_memory_frac);
+
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.misses, 0u);
+  // Budgets in these tests always dominate the pinned working set, so the
+  // accounting invariant tightens to a hard bound.
+  EXPECT_LE(stats.peak_bytes, budget_bytes);
+  if (expect_evictions) EXPECT_GT(stats.evictions, 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(TileStore, RoundTripsPackedViewBlocks) {
+  const HostId n = 37;  // does not divide the 16-wide tile
+  const DelayMatrix m = random_matrix(n, 0.25, 5);
+  const std::string path = scratch_path("roundtrip");
+  TileStore::write_matrix(path, m, 16);
+  const TileStore store = TileStore::open(path);
+  EXPECT_EQ(store.size(), n);
+  EXPECT_EQ(store.tile_dim(), 16u);
+  EXPECT_EQ(store.tiles_per_side(), 3u);
+  EXPECT_EQ(store.band_rows(0), 16u);
+  EXPECT_EQ(store.band_rows(2), 5u);
+
+  const DelayMatrixView view(m);
+  std::vector<float> payload(store.payload_floats());
+  std::vector<std::uint64_t> masks(store.mask_words());
+  for (std::uint32_t tr = 0; tr < store.tiles_per_side(); ++tr) {
+    for (std::uint32_t tc = 0; tc < store.tiles_per_side(); ++tc) {
+      store.read_tile(tr, tc, payload.data(), masks.data());
+      for (std::uint32_t lr = 0; lr < 16; ++lr) {
+        const HostId i = tr * 16 + lr;
+        for (std::uint32_t lb = 0; lb < 16; ++lb) {
+          const HostId b = tc * 16 + lb;
+          const float got = payload[lr * 16 + lb];
+          const bool mask_bit = (masks[lr * store.mask_words_per_row() +
+                                       (lb >> 6)] >>
+                                 (lb & 63)) &
+                                1;
+          if (i >= n || b >= n) {
+            // Edge-tile padding: masked payload, zero mask bits.
+            EXPECT_EQ(got, DelayMatrixView::kMaskedDelay);
+            EXPECT_FALSE(mask_bit);
+          } else {
+            EXPECT_EQ(got, view.row(i)[b]) << "(" << i << ", " << b << ")";
+            EXPECT_EQ(mask_bit, m.has(i, b)) << "(" << i << ", " << b << ")";
+          }
+        }
+      }
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TileStore, RejectsBadTileDim) {
+  const DelayMatrix m = random_matrix(8, 0.0, 6);
+  EXPECT_THROW(TileStore::write_matrix(scratch_path("bad"), m, 0),
+               std::invalid_argument);
+  EXPECT_THROW(TileStore::write_matrix(scratch_path("bad"), m, 24),
+               std::invalid_argument);
+}
+
+TEST(TileStore, OpenRejectsMissingAndMalformed) {
+  EXPECT_THROW(TileStore::open("/nonexistent/tiv_tiles"), std::runtime_error);
+  const std::string path = scratch_path("garbage");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a tile store", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(TileStore::open(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(ShardSeverity, StreamedMatchesInMemoryDense) {
+  // 96 divides the 16- and 32-wide grids; generous budget (no eviction
+  // pressure beyond capacity).
+  expect_streamed_matches_in_memory(random_matrix(96, 0.0, 11), 32,
+                                    1u << 22, false);
+}
+
+TEST(ShardSeverity, StreamedMatchesInMemoryThirtyPercentMissing) {
+  expect_streamed_matches_in_memory(random_matrix(96, 0.3, 12), 32,
+                                    1u << 22, false);
+}
+
+TEST(ShardSeverity, TileSizeNotDividingN) {
+  // 133 = 8*16 + 5: ragged last band in both 16- and 48-wide grids.
+  expect_streamed_matches_in_memory(random_matrix(133, 0.3, 13), 16,
+                                    1u << 22, false);
+  expect_streamed_matches_in_memory(random_matrix(133, 0.2, 14), 48,
+                                    1u << 22, false);
+}
+
+TEST(ShardSeverity, TinyBudgetForcesEvictionAndStaysWithinIt) {
+  // 8x8 bands of 16-wide tiles; a budget of 8 tiles cannot hold the 36
+  // upper-triangle band pairs' worth of working set, so the LRU must evict
+  // — and the accounting must keep peak bytes within the budget.
+  set_parallel_thread_count(2);
+  const HostId n = 128;
+  const std::uint32_t tile_dim = 16;
+  const std::size_t tile_bytes =
+      tile_dim * tile_dim * sizeof(float) + tile_dim * sizeof(std::uint64_t);
+  expect_streamed_matches_in_memory(random_matrix(n, 0.1, 15), tile_dim,
+                                    8 * tile_bytes, true);
+  set_parallel_thread_count(0);
+}
+
+TEST(ShardSeverity, BudgetedAutoSelection) {
+  const DelayMatrix m = random_matrix(97, 0.2, 16);
+  const SeverityMatrix reference = TivAnalyzer(m).all_severities();
+
+  // Unbounded budget: in-memory path.
+  OutOfCoreReport report;
+  OutOfCoreConfig in_mem;
+  const SeverityMatrix s1 = all_severities_budgeted(m, in_mem, &report);
+  EXPECT_FALSE(report.out_of_core);
+
+  // Budget below the packed view: spill-and-stream, same result.
+  OutOfCoreConfig ooc;
+  ooc.memory_budget_bytes = packed_view_bytes(m.size()) / 4;
+  ooc.tile_dim = 16;
+  ooc.spill_path = scratch_path("auto");
+  const SeverityMatrix s2 = all_severities_budgeted(m, ooc, &report);
+  EXPECT_TRUE(report.out_of_core);
+  EXPECT_GT(report.cache.misses, 0u);
+  EXPECT_FALSE(std::filesystem::exists(ooc.spill_path));  // spill cleaned up
+
+  for (HostId i = 0; i < m.size(); ++i) {
+    for (HostId j = i + 1; j < m.size(); ++j) {
+      EXPECT_EQ(s1.at(i, j), reference.at(i, j));
+      EXPECT_EQ(s2.at(i, j), reference.at(i, j));
+    }
+  }
+
+  const double f_in = violating_triangle_fraction_budgeted(m, in_mem);
+  const double f_ooc = violating_triangle_fraction_budgeted(m, ooc);
+  EXPECT_EQ(f_in, TivAnalyzer(m).violating_triangle_fraction());
+  EXPECT_EQ(f_ooc, f_in);
+}
+
+TEST(ShardSeverity, TileReadFailurePropagatesAsException) {
+  // Tile I/O runs on pool workers, where an escaped exception would
+  // terminate the process; the band-pair driver must capture it and
+  // rethrow on the calling thread as a catchable error.
+  set_parallel_thread_count(2);
+  const DelayMatrix m = random_matrix(96, 0.1, 20);
+  const std::string path = scratch_path("truncated");
+  TileStore::write_matrix(path, m, 16);
+  const TileStore store = TileStore::open(path);
+  std::filesystem::resize_file(path, 512);  // header survives, tiles gone
+  TileCache cache(store, 1u << 20);
+  EXPECT_THROW(all_severities_streamed(store, cache), std::runtime_error);
+  std::filesystem::remove(path);
+  set_parallel_thread_count(0);
+}
+
+TEST(TileCache, CountsHitsMissesAndReusesResidentTiles) {
+  const DelayMatrix m = random_matrix(64, 0.1, 17);
+  const std::string path = scratch_path("cache");
+  TileStore::write_matrix(path, m, 16);
+  const TileStore store = TileStore::open(path);
+  TileCache cache(store, 1u << 20);
+
+  const auto t1 = cache.acquire(0, 0);
+  const auto t2 = cache.acquire(0, 0);
+  EXPECT_EQ(t1.get(), t2.get());  // same resident tile, no duplicate load
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.current_bytes, store.tile_bytes());
+
+  cache.acquire(1, 2);
+  stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.current_bytes, 2 * store.tile_bytes());
+  EXPECT_EQ(stats.peak_bytes, 2 * store.tile_bytes());
+  std::filesystem::remove(path);
+}
+
+TEST(TileCache, EvictsLeastRecentlyUsedButNeverPinned) {
+  const DelayMatrix m = random_matrix(64, 0.1, 18);
+  const std::string path = scratch_path("evict");
+  TileStore::write_matrix(path, m, 16);
+  const TileStore store = TileStore::open(path);
+  // Room for exactly two resident tiles.
+  TileCache cache(store, 2 * store.tile_bytes());
+
+  auto pinned = cache.acquire(0, 0);
+  cache.acquire(0, 1);          // unpinned once the ref drops
+  cache.acquire(0, 2);          // must evict (0, 1), not the pinned (0, 0)
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_LE(stats.current_bytes, cache.budget_bytes());
+
+  const auto again = cache.acquire(0, 0);
+  EXPECT_EQ(again.get(), pinned.get());  // survived eviction: was pinned
+  stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_LE(stats.peak_bytes, cache.budget_bytes());
+  std::filesystem::remove(path);
+}
+
+TEST(TileCache, PrefetchLoadsInBackground) {
+  const DelayMatrix m = random_matrix(64, 0.1, 19);
+  const std::string path = scratch_path("prefetch");
+  TileStore::write_matrix(path, m, 16);
+  const TileStore store = TileStore::open(path);
+  TileCache cache(store, 1u << 20);
+
+  cache.prefetch(3, 3);
+  // acquire() waits for an in-flight background load of the same tile (or
+  // loads it itself if the hint was shed) — either way the tile arrives.
+  const auto tile = cache.acquire(3, 3);
+  EXPECT_NE(tile.get(), nullptr);
+  const DelayMatrixView view(m);
+  EXPECT_EQ(tile->row(0)[1], view.row(48)[49]);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace tiv::core
