@@ -6,18 +6,25 @@
 //   --full      run at the paper's full dataset sizes instead
 //   --seed=S    xor-ed into the generator seeds
 //   --csv       print tables as CSV instead of aligned text
+//   --json      emit a JsonArrayWriter record stream instead of tables
+//               (machine-checkable regressions; benches opt in by checking
+//               cfg.json — the kernel benches are JSON-only regardless)
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <type_traits>
 #include <vector>
 
 #include "delayspace/datasets.hpp"
+#include "delayspace/delay_matrix.hpp"
 #include "util/flags.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -27,6 +34,7 @@ struct BenchConfig {
   std::uint32_t hosts = 0;  ///< 0 = dataset full size
   std::uint64_t seed = 0;
   bool csv = false;
+  bool json = false;  ///< JSON record stream instead of tables
 };
 
 /// Parses the standard flags. default_hosts is the reduced scale used when
@@ -39,6 +47,7 @@ inline BenchConfig parse_config(const Flags& flags,
       flags.get_int("hosts", full ? 0 : default_hosts));
   c.seed = static_cast<std::uint64_t>(flags.get_int("seed", 0));
   c.csv = flags.get_bool("csv", false);
+  c.json = flags.get_bool("json", false);
   return c;
 }
 
@@ -210,6 +219,39 @@ class JsonArrayWriter {
   std::ostream& out_;
   bool first_ = true;
 };
+
+/// Synthetic uniform-random RTT matrix for the kernel benches: cost
+/// depends only on n and the missing pattern, and this keeps large-n
+/// setups cheap compared to generating a full delay space.
+inline delayspace::DelayMatrix random_matrix(delayspace::HostId n,
+                                             double missing_fraction,
+                                             std::uint64_t seed) {
+  delayspace::DelayMatrix m(n);
+  Rng rng(seed);
+  for (delayspace::HostId i = 0; i < n; ++i) {
+    for (delayspace::HostId j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(missing_fraction)) continue;
+      m.set(i, j, static_cast<float>(rng.uniform(1.0, 400.0)));
+    }
+  }
+  return m;
+}
+
+/// Wall time of one invocation of fn, in milliseconds.
+inline double time_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Best-of-reps wall time of fn, which must assign its result out of the
+/// timed region so the work is not optimized away.
+inline double best_ms(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) best = std::min(best, time_ms(fn));
+  return best;
+}
 
 /// Log-spaced grid (the paper's percentage-penalty CDFs use a log x axis
 /// from 10^0 to 10^4).

@@ -3,7 +3,14 @@
 // (within-cluster) are darker than the off-diagonal (cross-cluster) areas.
 // Also prints the in-text within/cross violation-count averages (paper:
 // 80 within vs 206 cross for DS^2).
+//
+// The delay matrix is packed into one DelayMatrixView shared by the
+// all-severities kernel and the batched cluster violation scans.
+//
+// --json emits flat records (sections: clustering, cluster_stats) for
+// machine-checkable regressions; the ASCII grid is table-mode only.
 #include <iostream>
+#include <optional>
 
 #include "bench_common.hpp"
 #include "core/cluster_analysis.hpp"
@@ -22,37 +29,68 @@ int main(int argc, char** argv) {
 
   const auto space = make_space(delayspace::DatasetId::kDs2, cfg);
   const core::TivAnalyzer analyzer(space.measured);
-  std::cout << "computing all-edge severities for "
-            << space.measured.size() << " hosts (O(N^3))...\n";
-  const core::SeverityMatrix sev = analyzer.all_severities();
+  const delayspace::DelayMatrixView view(space.measured);
+  if (!cfg.json) {
+    std::cout << "computing all-edge severities for "
+              << space.measured.size() << " hosts (O(N^3))...\n";
+  }
+  const core::SeverityMatrix sev = analyzer.all_severities(&view);
 
   const auto clustering = delayspace::cluster_delay_space(space.measured, {});
-  std::cout << "clusters found: " << clustering.num_clusters()
-            << " major (sizes:";
-  for (const auto& m : clustering.members) std::cout << ' ' << m.size();
-  std::cout << ") + " << clustering.noise.size() << " noise nodes\n";
-  std::cout << "agreement with generator ground truth (Rand index): "
-            << format_double(
-                   delayspace::rand_index(clustering, space.host_cluster), 3)
-            << "\n";
+  const double rand_idx =
+      delayspace::rand_index(clustering, space.host_cluster);
+  std::optional<JsonArrayWriter> json;
+  if (cfg.json) json.emplace(std::cout);
+  if (cfg.json) {
+    auto obj = json->object();
+    obj.field("section", std::string("clustering"))
+        .field("hosts", space.measured.size())
+        .field("major_clusters", clustering.num_clusters())
+        .field("noise_nodes", clustering.noise.size())
+        .field("rand_index", rand_idx, 3);
+  } else {
+    std::cout << "clusters found: " << clustering.num_clusters()
+              << " major (sizes:";
+    for (const auto& m : clustering.members) std::cout << ' ' << m.size();
+    std::cout << ") + " << clustering.noise.size() << " noise nodes\n";
+    std::cout << "agreement with generator ground truth (Rand index): "
+              << format_double(rand_idx, 3) << "\n";
 
-  print_section(std::cout,
-                "Figure 3: severity by cluster (bright = severe TIV)");
-  const auto grid =
-      core::severity_cluster_grid(space.measured, sev, clustering, grid_size);
-  core::print_severity_grid(std::cout, grid);
+    print_section(std::cout,
+                  "Figure 3: severity by cluster (bright = severe TIV)");
+    const auto grid = core::severity_cluster_grid(space.measured, sev,
+                                                  clustering, grid_size);
+    core::print_severity_grid(std::cout, grid);
 
-  print_section(std::cout, "Within- vs cross-cluster TIV statistics");
-  const core::ClusterTivStats stats =
-      core::cluster_tiv_stats(space.measured, sev, clustering, 4000);
-  Table table({"edge class", "edges", "mean #TIVs", "mean severity"});
-  table.add_row({"within-cluster", std::to_string(stats.edges_within),
-                 format_double(stats.mean_violations_within, 1),
-                 format_double(stats.mean_severity_within, 4)});
-  table.add_row({"cross-cluster", std::to_string(stats.edges_cross),
-                 format_double(stats.mean_violations_cross, 1),
-                 format_double(stats.mean_severity_cross, 4)});
-  emit(table, cfg);
-  std::cout << "(paper, DS^2 full scale: within 80 vs cross 206 mean TIVs)\n";
+    print_section(std::cout, "Within- vs cross-cluster TIV statistics");
+  }
+  const core::ClusterTivStats stats = core::cluster_tiv_stats(
+      space.measured, sev, clustering, 4000, 77, &view);
+  if (cfg.json) {
+    json->object()
+        .field("section", std::string("cluster_stats"))
+        .field("edge_class", std::string("within"))
+        .field("edges", stats.edges_within)
+        .field("edges_requested", stats.edges_requested)
+        .field("mean_tivs", stats.mean_violations_within, 2)
+        .field("mean_severity", stats.mean_severity_within, 5);
+    json->object()
+        .field("section", std::string("cluster_stats"))
+        .field("edge_class", std::string("cross"))
+        .field("edges", stats.edges_cross)
+        .field("edges_requested", stats.edges_requested)
+        .field("mean_tivs", stats.mean_violations_cross, 2)
+        .field("mean_severity", stats.mean_severity_cross, 5);
+  } else {
+    Table table({"edge class", "edges", "mean #TIVs", "mean severity"});
+    table.add_row({"within-cluster", std::to_string(stats.edges_within),
+                   format_double(stats.mean_violations_within, 1),
+                   format_double(stats.mean_severity_within, 4)});
+    table.add_row({"cross-cluster", std::to_string(stats.edges_cross),
+                   format_double(stats.mean_violations_cross, 1),
+                   format_double(stats.mean_severity_cross, 4)});
+    emit(table, cfg);
+    std::cout << "(paper, DS^2 full scale: within 80 vs cross 206 mean TIVs)\n";
+  }
   return 0;
 }

@@ -38,33 +38,8 @@ using tiv::core::TivAnalyzer;
 using tiv::delayspace::DelayMatrix;
 using tiv::delayspace::HostId;
 
-DelayMatrix random_matrix(HostId n, double missing_fraction,
-                          std::uint64_t seed) {
-  DelayMatrix m(n);
-  tiv::Rng rng(seed);
-  for (HostId i = 0; i < n; ++i) {
-    for (HostId j = i + 1; j < n; ++j) {
-      if (rng.bernoulli(missing_fraction)) continue;
-      m.set(i, j, static_cast<float>(rng.uniform(1.0, 400.0)));
-    }
-  }
-  return m;
-}
-
-double time_ms(const std::function<void()>& fn) {
-  const auto t0 = std::chrono::steady_clock::now();
-  fn();
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(t1 - t0).count();
-}
-
-/// Best-of-reps wall time of fn, which must assign its result out of the
-/// timed region so the work is not optimized away.
-double best_ms(int reps, const std::function<void()>& fn) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) best = std::min(best, time_ms(fn));
-  return best;
-}
+using tiv::bench::best_ms;
+using tiv::bench::random_matrix;
 
 double max_rel_err(const SeverityMatrix& got, const SeverityMatrix& want) {
   double worst = 0.0;

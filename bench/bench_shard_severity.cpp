@@ -53,25 +53,8 @@ using tiv::delayspace::HostId;
 using tiv::shard::TileCache;
 using tiv::shard::TileStore;
 
-DelayMatrix random_matrix(HostId n, double missing_fraction,
-                          std::uint64_t seed) {
-  DelayMatrix m(n);
-  tiv::Rng rng(seed);
-  for (HostId i = 0; i < n; ++i) {
-    for (HostId j = i + 1; j < n; ++j) {
-      if (rng.bernoulli(missing_fraction)) continue;
-      m.set(i, j, static_cast<float>(rng.uniform(1.0, 400.0)));
-    }
-  }
-  return m;
-}
-
-double time_ms(const std::function<void()>& fn) {
-  const auto t0 = std::chrono::steady_clock::now();
-  fn();
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(t1 - t0).count();
-}
+using tiv::bench::random_matrix;
+using tiv::bench::time_ms;
 
 std::size_t bitwise_mismatches(const SeverityMatrix& a,
                                const SeverityMatrix& b) {

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <ostream>
+#include <span>
+#include <utility>
 
-#include "util/parallel.hpp"
-#include "util/rng.hpp"
+#include "core/edge_sampling.hpp"
 
 namespace tiv::core {
 
@@ -15,36 +16,32 @@ ClusterTivStats cluster_tiv_stats(const DelayMatrix& matrix,
                                   const SeverityMatrix& sev,
                                   const Clustering& clustering,
                                   std::size_t sample_edges,
-                                  std::uint64_t seed) {
+                                  std::uint64_t seed,
+                                  const delayspace::DelayMatrixView* view) {
   const HostId n = matrix.size();
   std::vector<std::pair<HostId, HostId>> edges;
+  std::size_t requested = 0;
   if (sample_edges == 0) {
     for (HostId i = 0; i < n; ++i) {
       for (HostId j = i + 1; j < n; ++j) {
         if (matrix.has(i, j)) edges.emplace_back(i, j);
       }
     }
+    requested = edges.size();
   } else {
-    Rng rng(seed);
-    std::size_t attempts = 0;
-    while (edges.size() < sample_edges && attempts < sample_edges * 30) {
-      ++attempts;
-      auto i = static_cast<HostId>(rng.uniform_index(n));
-      auto j = static_cast<HostId>(rng.uniform_index(n));
-      if (i == j || !matrix.has(i, j)) continue;
-      if (i > j) std::swap(i, j);
-      edges.emplace_back(i, j);
-    }
+    // Distinct edges: the old sampler drew with replacement, so a
+    // duplicate edge counted twice in the within/cross averages.
+    PairSample sample = sample_measured_pairs(matrix, sample_edges, seed);
+    edges = std::move(sample.pairs);
+    requested = sample.requested;
   }
 
   const TivAnalyzer analyzer(matrix);
-  std::vector<std::size_t> counts(edges.size());
-  parallel_for(edges.size(), [&](std::size_t e) {
-    counts[e] =
-        analyzer.edge_stats(edges[e].first, edges[e].second).violation_count;
-  });
+  const std::vector<std::size_t> counts = analyzer.edge_violation_count_batch(
+      std::span<const std::pair<HostId, HostId>>(edges), view);
 
   ClusterTivStats out;
+  out.edges_requested = requested;
   double viol_within = 0.0;
   double viol_cross = 0.0;
   for (std::size_t e = 0; e < edges.size(); ++e) {

@@ -4,17 +4,46 @@
 #include <cmath>
 #include <limits>
 
+#include "core/edge_sampling.hpp"
+#include "core/witness_kernels.hpp"
 #include "util/parallel.hpp"
 
 namespace tiv::core {
 
+using delayspace::DelayMatrixView;
 using delayspace::HostId;
 
 DetourRouter::DetourRouter(const embedding::VivaldiSystem& system,
-                           const DetourParams& params)
-    : system_(system), params_(params) {}
+                           const DetourParams& params,
+                           const DelayMatrixView* view)
+    : system_(system), params_(params) {
+  if (view == nullptr) {
+    owned_view_.emplace(system.matrix());
+    view_ = &*owned_view_;
+  } else {
+    view_ = view;
+  }
+}
 
 double DetourRouter::oracle_one_hop(HostId a, HostId b) const {
+  const auto& m = system_.matrix();
+  const double direct = m.has(a, b)
+                            ? m.at(a, b)
+                            : std::numeric_limits<double>::infinity();
+  // Lane-min over the masked rows: missing legs and padding sum past
+  // kMaskedDelay, and the self-columns c == a / c == b contribute exactly
+  // `direct` (diagonal 0 + the direct leg), which the min against `direct`
+  // absorbs — so no per-element exclusions remain. min is order-free, so
+  // the result equals the scalar reference bit for bit.
+  const double relay =
+      relay_min_scan(view_->row(a), view_->row(b), view_->stride());
+  if (relay >= static_cast<double>(DelayMatrixView::kMaskedDelay)) {
+    return direct;  // no relay with both legs measured
+  }
+  return std::min(direct, relay);
+}
+
+double DetourRouter::oracle_one_hop_scalar(HostId a, HostId b) const {
   const auto& m = system_.matrix();
   double best = m.has(a, b) ? m.at(a, b)
                             : std::numeric_limits<double>::infinity();
@@ -31,10 +60,19 @@ double DetourRouter::oracle_one_hop(HostId a, HostId b) const {
 }
 
 DetourDecision DetourRouter::route(HostId a, HostId b, Rng& rng) const {
-  const auto& m = system_.matrix();
   DetourDecision d;
-  d.direct_ms = m.has(a, b) ? m.at(a, b)
-                            : std::numeric_limits<double>::infinity();
+  d.measured = system_.matrix().has(a, b);
+  if (!d.measured) {
+    // Early-return: no alert evaluation, no probes. The infinities mark the
+    // absence of a measurement; `measured` lets callers skip the edge
+    // instead of folding +inf into their delay summaries.
+    d.direct_ms = std::numeric_limits<double>::infinity();
+    d.achieved_ms = d.direct_ms;
+    return d;
+  }
+  const float* row_a = view_->row(a);
+  const float* row_b = view_->row(b);
+  d.direct_ms = row_a[b];
   d.achieved_ms = d.direct_ms;
 
   const double ratio = system_.prediction_ratio(a, b);
@@ -43,13 +81,18 @@ DetourDecision DetourRouter::route(HostId a, HostId b, Rng& rng) const {
 
   // Rank all peers by predicted relay-path delay and probe the best few.
   // (A deployment would rank only its known peers; the embedding makes the
-  // ranking free either way.)
-  const HostId n = m.size();
+  // ranking free either way.) Masked rows turn the two sign-tested has()
+  // calls per candidate into one sum-compare: any missing leg pushes
+  // row_a[c] + row_b[c] past kMaskedDelay.
+  const HostId n = system_.matrix().size();
   std::vector<std::pair<double, HostId>> ranked;
   ranked.reserve(n);
   for (HostId c = 0; c < n; ++c) {
+    if (static_cast<double>(row_a[c]) + row_b[c] >=
+        static_cast<double>(DelayMatrixView::kMaskedDelay)) {
+      continue;  // a leg is missing
+    }
     if (c == a || c == b) continue;
-    if (!m.has(a, c) || !m.has(c, b)) continue;
     ranked.emplace_back(system_.predicted(a, c) + system_.predicted(c, b), c);
   }
   const std::size_t k =
@@ -61,7 +104,7 @@ DetourDecision DetourRouter::route(HostId a, HostId b, Rng& rng) const {
   for (std::size_t i = 0; i < k; ++i) {
     const HostId c = ranked[i].second;
     d.probes += 2;  // A-C refresh + C-B on-demand probe
-    const double via = static_cast<double>(m.at(a, c)) + m.at(c, b);
+    const double via = static_cast<double>(row_a[c]) + row_b[c];
     if (via < d.achieved_ms) {
       d.achieved_ms = via;
       d.relay = c;
@@ -73,21 +116,18 @@ DetourDecision DetourRouter::route(HostId a, HostId b, Rng& rng) const {
 
 DetourEvaluation evaluate_detour_routing(
     const embedding::VivaldiSystem& system, const DetourParams& params,
-    std::size_t sample_edges, std::uint64_t seed) {
+    std::size_t sample_edges, std::uint64_t seed,
+    const DelayMatrixView* view) {
   const auto& m = system.matrix();
   const HostId n = m.size();
-  Rng rng(seed);
-  std::vector<std::pair<HostId, HostId>> edges;
-  edges.reserve(sample_edges);
-  std::size_t attempts = 0;
-  while (edges.size() < sample_edges && attempts < sample_edges * 30) {
-    ++attempts;
-    const auto a = static_cast<HostId>(rng.uniform_index(n));
-    const auto b = static_cast<HostId>(rng.uniform_index(n));
-    if (a != b && m.has(a, b) && m.at(a, b) > 0) edges.emplace_back(a, b);
-  }
+  // Distinct measured pairs (the shared duplicate-free sampler): a
+  // duplicate edge would double-count its delays in every Summary below.
+  PairSampleOptions opt;
+  opt.require_positive = true;  // stretch ratios divide by the direct delay
+  PairSample sample = sample_measured_pairs(m, sample_edges, seed, opt);
+  const auto& edges = sample.pairs;
 
-  const DetourRouter router(system, params);
+  const DetourRouter router(system, params, view);
   struct Row {
     double direct, achieved, oracle, random_relay;
     std::uint32_t probes;
@@ -118,6 +158,7 @@ DetourEvaluation evaluate_detour_routing(
   });
 
   DetourEvaluation out;
+  out.edges_requested = sample.requested;
   std::vector<double> direct;
   std::vector<double> achieved;
   std::vector<double> oracle;

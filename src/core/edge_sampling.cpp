@@ -1,0 +1,56 @@
+#include "core/edge_sampling.hpp"
+
+namespace tiv::core {
+
+MeasuredPairSampler::MeasuredPairSampler(const DelayMatrix& matrix,
+                                         std::size_t target,
+                                         std::uint64_t seed,
+                                         PairSampleOptions options)
+    : matrix_(matrix),
+      target_(target),
+      // A matrix with fewer than two hosts has no pairs to draw; a zero
+      // budget makes next() exhaust immediately instead of dividing by
+      // zero in uniform_index.
+      budget_(matrix.size() < 2 ? 0 : target * options.attempts_per_pair),
+      options_(options),
+      rng_(seed) {
+  seen_.reserve(target * 2);
+}
+
+std::optional<std::pair<HostId, HostId>> MeasuredPairSampler::next() {
+  const HostId n = matrix_.size();
+  while (attempts_ < budget_) {
+    ++attempts_;
+    auto i = static_cast<HostId>(rng_.uniform_index(n));
+    auto j = static_cast<HostId>(rng_.uniform_index(n));
+    if (i == j || !matrix_.has(i, j)) continue;
+    if (options_.require_positive && matrix_.at(i, j) <= 0.0f) continue;
+    if (i > j) std::swap(i, j);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(i) << 32) | static_cast<std::uint64_t>(j);
+    if (!seen_.insert(key).second) continue;  // duplicate edge
+    return std::make_pair(i, j);
+  }
+  exhausted_ = true;
+  return std::nullopt;
+}
+
+PairSample sample_measured_pairs(const DelayMatrix& matrix, std::size_t count,
+                                 std::uint64_t seed,
+                                 PairSampleOptions options) {
+  PairSample out;
+  out.requested = count;
+  out.pairs.reserve(count);
+  MeasuredPairSampler sampler(matrix, count, seed, options);
+  while (out.pairs.size() < count) {
+    const auto pair = sampler.next();
+    if (!pair) {
+      out.exhausted = true;
+      break;
+    }
+    out.pairs.push_back(*pair);
+  }
+  return out;
+}
+
+}  // namespace tiv::core

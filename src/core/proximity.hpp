@@ -31,12 +31,24 @@ struct ProximityResult {
   /// and against a random-pair edge.
   std::vector<double> nearest_pair_diffs;
   std::vector<double> random_pair_diffs;
+  std::size_t edges_requested = 0;  ///< params.sample_edges as asked for
+  std::size_t edges_achieved = 0;   ///< == nearest_pair_diffs.size()
+  /// The duplicate-free sampler's rejection budget ran out before
+  /// edges_requested valid samples were found (mostly-missing matrix, or
+  /// sample_edges close to the measured-edge count).
+  bool sampler_exhausted = false;
 };
 
-/// Runs the experiment. O(sample_edges * N). Edges whose endpoints have no
-/// measurable nearest neighbor are skipped.
+/// Runs the experiment. O(sample_edges * N). The sampled edges are distinct
+/// (duplicate-free sampling; a repeated edge would double-count its
+/// severity difference in the CDFs); edges whose endpoints have no
+/// measurable nearest neighbor are skipped. All severity lookups go through
+/// the batched masked-view edge engine; pass `view` (a packed view of
+/// `matrix`) to reuse one the caller already built.
 ProximityResult proximity_experiment(const DelayMatrix& matrix,
-                                     const ProximityParams& params = {});
+                                     const ProximityParams& params = {},
+                                     const delayspace::DelayMatrixView* view =
+                                         nullptr);
 
 /// Nearest measurable neighbor of a node (by delay), excluding `exclude`
 /// and any neighbor closer than `min_delay_ms`. Returns the node's own id

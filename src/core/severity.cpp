@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <unordered_set>
+#include <optional>
 
+#include "core/edge_sampling.hpp"
 #include "core/triangle_schedule.hpp"
 #include "core/witness_kernels.hpp"
 #include "util/parallel.hpp"
@@ -11,8 +12,6 @@
 
 namespace tiv::core {
 namespace {
-
-using delayspace::DelayMatrixView;
 
 // ---------------------------------------------------------------------------
 // Blocked, branch-free witness scans over the padded rows of a
@@ -37,6 +36,34 @@ double pair_ratio_sum(const float* ra, const float* rc, std::size_t stride,
   witness_ratio_accumulate(ra, rc, stride, dac, acc);
   return witness_ratio_reduce(acc);
 }
+
+// Dynamic-scheduling grain for the batched per-edge engine: per-edge cost
+// is one O(stride) row scan, so a handful of edges per claimed chunk keeps
+// dispatch overhead negligible without starving the balancer.
+constexpr std::size_t kEdgeBatchGrain = 8;
+
+/// View selection for a batched per-edge call: a caller-provided view is
+/// already paid for; otherwise the O(N^2) local build only happens when
+/// enough scans amortize it (edges * 4 >= N, the guard sampled_severities
+/// has always used). get() == nullptr means "run the scalar path".
+class BatchView {
+ public:
+  BatchView(const DelayMatrix& matrix, const DelayMatrixView* prebuilt,
+            std::size_t batch_size) {
+    if (prebuilt != nullptr) {
+      view_ = prebuilt;
+    } else if (batch_size * 4 >= matrix.size()) {
+      local_.emplace(matrix);
+      view_ = &*local_;
+    }
+  }
+
+  const DelayMatrixView* get() const { return view_; }
+
+ private:
+  std::optional<DelayMatrixView> local_;
+  const DelayMatrixView* view_ = nullptr;
+};
 
 // Tile edge for the blocked (a, c) pair loop. 16 rows of each endpoint keep
 // the working set (2 * 16 padded rows) inside L2 even at n = 8192 while
@@ -107,6 +134,114 @@ double TivAnalyzer::edge_severity(HostId a, HostId c) const {
   return edge_stats(a, c).severity;
 }
 
+std::vector<EdgeTivStats> TivAnalyzer::edge_stats_batch(
+    std::span<const std::pair<HostId, HostId>> edges,
+    const DelayMatrixView* view) const {
+  std::vector<EdgeTivStats> out(edges.size());
+  const BatchView bv(matrix_, view, edges.size());
+  if (bv.get() == nullptr) {
+    parallel_for(edges.size(), [&](std::size_t e) {
+      out[e] = edge_stats(edges[e].first, edges[e].second);
+    });
+    return out;
+  }
+  const DelayMatrixView& v = *bv.get();
+  const std::size_t stride = v.stride();
+  const auto nd = static_cast<double>(matrix_.size());
+  parallel_for_dynamic(
+      edges.size(), kEdgeBatchGrain, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t e = begin; e < end; ++e) {
+          const auto [a, c] = edges[e];
+          EdgeTivStats stats;
+          const float d_ac = v.row(a)[c];
+          if (a == c || d_ac >= DelayMatrixView::kMaskedDelay) {
+            out[e] = stats;  // unmeasured edge: all-zero, as in edge_stats
+            continue;
+          }
+          // Two vectorized passes over the same L2-resident rows: the ratio
+          // sum (bit-identical lanes to the all_severities kernel) and the
+          // count/min-detour scan, from which the max ratio follows by one
+          // division (see witness_violation_minmax).
+          double acc[kWitnessLanes] = {};
+          witness_ratio_accumulate(v.row(a), v.row(c), stride, d_ac, acc);
+          const WitnessViolationStats vs =
+              witness_violation_minmax(v.row(a), v.row(c), stride, d_ac);
+          const double ratio_sum = witness_ratio_reduce(acc);
+          stats.violation_count = vs.count;
+          stats.witness_count = v.witness_count(a, c);
+          stats.max_ratio =
+              vs.count == 0 ? 0.0
+                            : static_cast<double>(d_ac) /
+                                  static_cast<double>(vs.min_detour);
+          stats.severity = ratio_sum / nd;
+          stats.mean_ratio =
+              stats.violation_count == 0
+                  ? 0.0
+                  : ratio_sum / static_cast<double>(stats.violation_count);
+          out[e] = stats;
+        }
+      });
+  return out;
+}
+
+std::vector<std::size_t> TivAnalyzer::edge_violation_count_batch(
+    std::span<const std::pair<HostId, HostId>> edges,
+    const DelayMatrixView* view) const {
+  std::vector<std::size_t> out(edges.size());
+  const BatchView bv(matrix_, view, edges.size());
+  if (bv.get() == nullptr) {
+    parallel_for(edges.size(), [&](std::size_t e) {
+      out[e] = edge_stats(edges[e].first, edges[e].second).violation_count;
+    });
+    return out;
+  }
+  const DelayMatrixView& v = *bv.get();
+  const std::size_t stride = v.stride();
+  parallel_for_dynamic(
+      edges.size(), kEdgeBatchGrain, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t e = begin; e < end; ++e) {
+          const auto [a, c] = edges[e];
+          const float d_ac = v.row(a)[c];
+          if (a == c || d_ac >= DelayMatrixView::kMaskedDelay) {
+            out[e] = 0;
+            continue;
+          }
+          out[e] =
+              witness_violation_minmax(v.row(a), v.row(c), stride, d_ac).count;
+        }
+      });
+  return out;
+}
+
+std::vector<double> TivAnalyzer::edge_severity_batch(
+    std::span<const std::pair<HostId, HostId>> edges,
+    const DelayMatrixView* view) const {
+  std::vector<double> out(edges.size());
+  const BatchView bv(matrix_, view, edges.size());
+  if (bv.get() == nullptr) {
+    parallel_for(edges.size(), [&](std::size_t e) {
+      out[e] = edge_severity(edges[e].first, edges[e].second);
+    });
+    return out;
+  }
+  const DelayMatrixView& v = *bv.get();
+  const std::size_t stride = v.stride();
+  const auto nd = static_cast<double>(matrix_.size());
+  parallel_for_dynamic(
+      edges.size(), kEdgeBatchGrain, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t e = begin; e < end; ++e) {
+          const auto [a, c] = edges[e];
+          const float d_ac = v.row(a)[c];
+          if (a == c || d_ac >= DelayMatrixView::kMaskedDelay) {
+            out[e] = 0.0;
+            continue;
+          }
+          out[e] = pair_ratio_sum(v.row(a), v.row(c), stride, d_ac) / nd;
+        }
+      });
+  return out;
+}
+
 std::vector<double> TivAnalyzer::violation_ratios(HostId a, HostId c) const {
   std::vector<double> out;
   if (!matrix_.has(a, c)) return out;
@@ -126,11 +261,14 @@ std::vector<double> TivAnalyzer::violation_ratios(HostId a, HostId c) const {
   return out;
 }
 
-SeverityMatrix TivAnalyzer::all_severities() const {
+SeverityMatrix TivAnalyzer::all_severities(
+    const DelayMatrixView* prebuilt) const {
   const HostId n = matrix_.size();
   SeverityMatrix sev(n);
   if (n < 2) return sev;
-  const DelayMatrixView view(matrix_);
+  std::optional<DelayMatrixView> local;
+  if (prebuilt == nullptr) local.emplace(matrix_);
+  const DelayMatrixView& view = prebuilt ? *prebuilt : *local;
   const std::size_t stride = view.stride();
   const auto nd = static_cast<double>(n);
   for_each_upper_tile(n, [&](HostId a_begin, HostId a_end, HostId c_begin,
@@ -185,44 +323,14 @@ SeverityMatrix TivAnalyzer::all_severities_reference() const {
 
 std::vector<std::pair<std::pair<HostId, HostId>, double>>
 TivAnalyzer::sampled_severities(std::size_t count, std::uint64_t seed) const {
-  const HostId n = matrix_.size();
-  Rng rng(seed);
-  std::vector<std::pair<HostId, HostId>> edges;
-  edges.reserve(count);
-  // Rejection-sample distinct measured pairs; see the header for the
-  // attempts bail-out contract.
-  std::unordered_set<std::uint64_t> seen;
-  seen.reserve(count * 2);
-  std::size_t attempts = 0;
-  while (edges.size() < count && attempts < count * 30) {
-    ++attempts;
-    auto i = static_cast<HostId>(rng.uniform_index(n));
-    auto j = static_cast<HostId>(rng.uniform_index(n));
-    if (i == j || !matrix_.has(i, j)) continue;
-    if (i > j) std::swap(i, j);
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(i) << 32) | static_cast<std::uint64_t>(j);
-    if (!seen.insert(key).second) continue;  // duplicate edge
-    edges.emplace_back(i, j);
-  }
-  std::vector<std::pair<std::pair<HostId, HostId>, double>> out(edges.size());
-  // The packed view costs an O(N^2) build; it only pays for itself when the
-  // vectorized per-edge scans amortize it. For a handful of samples the
-  // scalar edge scan is strictly cheaper.
-  if (edges.size() * 4 >= n) {
-    const DelayMatrixView view(matrix_);
-    const std::size_t stride = view.stride();
-    const auto nd = static_cast<double>(n);
-    parallel_for(edges.size(), [&](std::size_t e) {
-      const auto [a, c] = edges[e];
-      const float d_ac = view.row(a)[c];
-      out[e] = {edges[e],
-                pair_ratio_sum(view.row(a), view.row(c), stride, d_ac) / nd};
-    });
-  } else {
-    parallel_for(edges.size(), [&](std::size_t e) {
-      out[e] = {edges[e], edge_severity(edges[e].first, edges[e].second)};
-    });
+  // The shared sampler reproduces this function's historical draw sequence
+  // exactly (it was the one dedup-correct sampler the others now share).
+  const PairSample sample = sample_measured_pairs(matrix_, count, seed);
+  const std::vector<double> sevs = edge_severity_batch(sample.pairs);
+  std::vector<std::pair<std::pair<HostId, HostId>, double>> out(
+      sample.pairs.size());
+  for (std::size_t e = 0; e < sample.pairs.size(); ++e) {
+    out[e] = {sample.pairs[e], sevs[e]};
   }
   return out;
 }
@@ -265,6 +373,19 @@ double TivAnalyzer::violating_triangle_fraction(std::size_t sample_triangles,
     const auto t = static_cast<double>(witness_total.load());
     return t == 0.0 ? 0.0 : 3.0 * static_cast<double>(violations.load()) / t;
   }
+  return violating_triangle_fraction_sampled(sample_triangles, seed).fraction;
+}
+
+TivAnalyzer::TriangleFractionSample
+TivAnalyzer::violating_triangle_fraction_sampled(std::size_t sample_triangles,
+                                                 std::uint64_t seed) const {
+  const HostId n = matrix_.size();
+  TriangleFractionSample out;
+  out.requested = sample_triangles;
+  if (n < 3) {
+    out.exhausted = sample_triangles > 0;
+    return out;
+  }
   auto violates = [&](HostId a, HostId b, HostId c) {
     const float ab = matrix_.at(a, b);
     const float bc = matrix_.at(b, c);
@@ -287,7 +408,10 @@ double TivAnalyzer::violating_triangle_fraction(std::size_t sample_triangles,
     ++t;
     v += r;
   }
-  return t == 0 ? 0.0 : static_cast<double>(v) / static_cast<double>(t);
+  out.achieved = t;
+  out.exhausted = t < sample_triangles;
+  out.fraction = t == 0 ? 0.0 : static_cast<double>(v) / static_cast<double>(t);
+  return out;
 }
 
 }  // namespace tiv::core

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -22,6 +23,7 @@
 namespace tiv::core {
 
 using delayspace::DelayMatrix;
+using delayspace::DelayMatrixView;
 using delayspace::HostId;
 
 /// Per-edge violation statistics.
@@ -80,6 +82,39 @@ class TivAnalyzer {
   /// Full per-edge statistics; O(N).
   EdgeTivStats edge_stats(HostId a, HostId c) const;
 
+  /// Batched per-edge statistics — the single witness-scan path for the
+  /// sampled consumers (cluster_tiv_stats, proximity_experiment,
+  /// sampled_severities). One packed DelayMatrixView is amortized across
+  /// all requested edges and the branch-free lane kernels run under
+  /// parallel_for_dynamic; severities are bit-identical to the
+  /// all_severities kernel's per-edge values and the integer counts are
+  /// exactly the scalar edge_stats counts.
+  ///
+  /// Pass `view` (a packed view of this analyzer's matrix) to skip the
+  /// O(N^2) view build — figure drivers that make several batched calls
+  /// should pack once and share it. With view == nullptr a batch too small
+  /// to amortize a local build (edges * 4 < N) falls back to the scalar
+  /// per-edge scan, which computes identical counts and severities to
+  /// ~1e-15 relative (summation order only).
+  std::vector<EdgeTivStats> edge_stats_batch(
+      std::span<const std::pair<HostId, HostId>> edges,
+      const DelayMatrixView* view = nullptr) const;
+
+  /// Severity-only batch: same contract as edge_stats_batch, cheaper scan
+  /// (no count/max lanes, no mask popcounts).
+  std::vector<double> edge_severity_batch(
+      std::span<const std::pair<HostId, HostId>> edges,
+      const DelayMatrixView* view = nullptr) const;
+
+  /// Violation-count-only batch (the edge_stats strict classification:
+  /// detour < d_ac and detour > 0): same contract as edge_stats_batch but
+  /// runs only the fused count/min kernel — consumers like
+  /// cluster_tiv_stats that read nothing else skip the ratio-accumulate
+  /// pass and the witness popcounts.
+  std::vector<std::size_t> edge_violation_count_batch(
+      std::span<const std::pair<HostId, HostId>> edges,
+      const DelayMatrixView* view = nullptr) const;
+
   /// Triangulation ratios of all violations caused by the edge (the Fig. 1
   /// distribution), unsorted.
   std::vector<double> violation_ratios(HostId a, HostId c) const;
@@ -89,7 +124,9 @@ class TivAnalyzer {
   /// scheduled over (a, c) tiles of the upper triangle. Matches
   /// all_severities_reference to within ~1e-7 relative (float-division
   /// rounding; both round the result to float).
-  SeverityMatrix all_severities() const;
+  /// Pass `view` (a packed view of this matrix) to reuse a view the caller
+  /// already built; nullptr packs one locally.
+  SeverityMatrix all_severities(const DelayMatrixView* view = nullptr) const;
 
   /// The straightforward scalar kernel (the original implementation): two
   /// data-dependent branches per witness, statically partitioned rows. Kept
@@ -115,6 +152,24 @@ class TivAnalyzer {
   /// sample_triangles == 0, otherwise Monte Carlo.
   double violating_triangle_fraction(std::size_t sample_triangles = 0,
                                      std::uint64_t seed = 4321) const;
+
+  /// Monte Carlo triangle-violation estimate plus achieved-vs-requested
+  /// accounting. The sampler gives up after 30 * requested draws
+  /// (unmeasurable triangles consume attempts), so on a mostly-missing
+  /// matrix `achieved < requested`; the fraction is then over the achieved
+  /// triangles and `exhausted` is set, instead of the shortfall being
+  /// silent. Equals violating_triangle_fraction(requested, seed) exactly
+  /// for requested > 0. requested == 0 here means "sample nothing"
+  /// (fraction 0, achieved 0) — unlike the double-returning wrapper, whose
+  /// 0 selects the exact exhaustive mode instead.
+  struct TriangleFractionSample {
+    double fraction = 0.0;
+    std::size_t requested = 0;
+    std::size_t achieved = 0;  ///< measurable triangles actually counted
+    bool exhausted = false;    ///< attempt budget ran out before `requested`
+  };
+  TriangleFractionSample violating_triangle_fraction_sampled(
+      std::size_t sample_triangles, std::uint64_t seed = 4321) const;
 
  private:
   const DelayMatrix& matrix_;

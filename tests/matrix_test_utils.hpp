@@ -1,0 +1,30 @@
+// Shared test-matrix generator. One definition instead of a copy per test
+// binary: a change to the delay range or missing-entry encoding must reach
+// every suite at once. (Named without the test_ prefix so the tests/
+// CMake glob does not turn it into a binary.)
+#pragma once
+
+#include <cstdint>
+
+#include "delayspace/delay_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace tiv::test {
+
+/// Symmetric matrix of uniform-random RTTs in [1, 400) ms with an
+/// independent per-pair missing probability.
+inline delayspace::DelayMatrix random_matrix(delayspace::HostId n,
+                                             double missing_fraction,
+                                             std::uint64_t seed) {
+  delayspace::DelayMatrix m(n);
+  Rng rng(seed);
+  for (delayspace::HostId i = 0; i < n; ++i) {
+    for (delayspace::HostId j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(missing_fraction)) continue;
+      m.set(i, j, static_cast<float>(rng.uniform(1.0, 400.0)));
+    }
+  }
+  return m;
+}
+
+}  // namespace tiv::test

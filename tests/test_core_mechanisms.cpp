@@ -172,6 +172,85 @@ TEST(ClusterAnalysis, CrossClusterEdgesCauseMoreViolations) {
   EXPECT_GT(stats.mean_violations_cross, stats.mean_violations_within);
 }
 
+TEST(ClusterAnalysis, ExhaustiveStatsMatchScalarRecomputation) {
+  // The batched masked-view violation counts must reproduce the scalar
+  // edge_stats counts exactly, so the aggregated means are bit-equal to a
+  // brute-force recomputation over the same (exhaustive) edge set.
+  const auto ds = medium_space(88, 60);
+  const DelayMatrix& m = ds.measured;
+  const SeverityMatrix sev = TivAnalyzer(m).all_severities();
+  const auto clustering = delayspace::cluster_delay_space(m, {});
+  const ClusterTivStats stats = cluster_tiv_stats(m, sev, clustering, 0);
+
+  const TivAnalyzer analyzer(m);
+  double viol_within = 0.0, viol_cross = 0.0;
+  double sev_within = 0.0, sev_cross = 0.0;
+  std::size_t n_within = 0, n_cross = 0;
+  for (delayspace::HostId i = 0; i < m.size(); ++i) {
+    for (delayspace::HostId j = i + 1; j < m.size(); ++j) {
+      if (!m.has(i, j)) continue;
+      const auto count =
+          static_cast<double>(analyzer.edge_stats(i, j).violation_count);
+      if (clustering.same_cluster(i, j)) {
+        ++n_within;
+        viol_within += count;
+        sev_within += sev.at(i, j);
+      } else {
+        ++n_cross;
+        viol_cross += count;
+        sev_cross += sev.at(i, j);
+      }
+    }
+  }
+  EXPECT_EQ(stats.edges_within, n_within);
+  EXPECT_EQ(stats.edges_cross, n_cross);
+  EXPECT_EQ(stats.edges_requested, n_within + n_cross);
+  if (n_within > 0) {
+    EXPECT_DOUBLE_EQ(stats.mean_violations_within,
+                     viol_within / static_cast<double>(n_within));
+    EXPECT_DOUBLE_EQ(stats.mean_severity_within,
+                     sev_within / static_cast<double>(n_within));
+  }
+  if (n_cross > 0) {
+    EXPECT_DOUBLE_EQ(stats.mean_violations_cross,
+                     viol_cross / static_cast<double>(n_cross));
+    EXPECT_DOUBLE_EQ(stats.mean_severity_cross,
+                     sev_cross / static_cast<double>(n_cross));
+  }
+}
+
+TEST(ClusterAnalysis, SampledStatsUseDistinctEdgesAndReportRequested) {
+  // 10 hosts, dense: 45 edges. Requesting 1000 must cap at 45 distinct
+  // edges (the old with-replacement sampler returned ~1000 rows with heavy
+  // duplication) and surface the requested count.
+  delayspace::DelayMatrix m(10);
+  for (delayspace::HostId i = 0; i < 10; ++i) {
+    for (delayspace::HostId j = i + 1; j < 10; ++j) {
+      m.set(i, j, 10.0f + static_cast<float>(i + j));
+    }
+  }
+  const SeverityMatrix sev = TivAnalyzer(m).all_severities();
+  const auto clustering = delayspace::cluster_delay_space(m, {});
+  const ClusterTivStats stats = cluster_tiv_stats(m, sev, clustering, 1000);
+  EXPECT_EQ(stats.edges_requested, 1000u);
+  EXPECT_LE(stats.edges_within + stats.edges_cross, 45u);
+}
+
+TEST(ClusterAnalysis, PrebuiltViewMatchesSelfBuilt) {
+  const auto ds = medium_space(90, 80);
+  const DelayMatrix& m = ds.measured;
+  const SeverityMatrix sev = TivAnalyzer(m).all_severities();
+  const auto clustering = delayspace::cluster_delay_space(m, {});
+  const delayspace::DelayMatrixView view(m);
+  const ClusterTivStats a = cluster_tiv_stats(m, sev, clustering, 500, 7);
+  const ClusterTivStats b =
+      cluster_tiv_stats(m, sev, clustering, 500, 7, &view);
+  EXPECT_EQ(a.edges_within, b.edges_within);
+  EXPECT_EQ(a.edges_cross, b.edges_cross);
+  EXPECT_DOUBLE_EQ(a.mean_violations_within, b.mean_violations_within);
+  EXPECT_DOUBLE_EQ(a.mean_violations_cross, b.mean_violations_cross);
+}
+
 TEST(ClusterAnalysis, GridHasRequestedShape) {
   const auto ds = medium_space(91, 120);
   const SeverityMatrix sev = TivAnalyzer(ds.measured).all_severities();
@@ -268,6 +347,50 @@ TEST(Proximity, ExperimentProducesPairedDistributions) {
   EXPECT_EQ(r.nearest_pair_diffs.size(), r.random_pair_diffs.size());
   EXPECT_GT(r.nearest_pair_diffs.size(), 300u);
   for (double d : r.nearest_pair_diffs) EXPECT_GE(d, 0.0);
+}
+
+TEST(Proximity, ReportsAchievedVsRequestedOnMostlyMissingMatrix) {
+  // A 40-host matrix with one measured 6-clique: at most 15 distinct
+  // primary edges exist, so a 2000-sample request must exhaust and report
+  // the achieved count instead of silently returning a short vector.
+  delayspace::DelayMatrix m(40);
+  for (delayspace::HostId i = 0; i < 6; ++i) {
+    for (delayspace::HostId j = i + 1; j < 6; ++j) {
+      m.set(i, j, 20.0f + static_cast<float>(3 * i + j));
+    }
+  }
+  ProximityParams p;
+  p.sample_edges = 2000;
+  p.seed = 5;
+  const ProximityResult r = proximity_experiment(m, p);
+  EXPECT_EQ(r.edges_requested, 2000u);
+  EXPECT_EQ(r.edges_achieved, r.nearest_pair_diffs.size());
+  EXPECT_LE(r.edges_achieved, 15u);
+  EXPECT_TRUE(r.sampler_exhausted);
+}
+
+TEST(Proximity, AchievedCountMatchesDiffSizes) {
+  const auto ds = medium_space(96, 120);
+  ProximityParams p;
+  p.sample_edges = 400;
+  const ProximityResult r = proximity_experiment(ds.measured, p);
+  EXPECT_EQ(r.edges_requested, 400u);
+  EXPECT_EQ(r.edges_achieved, r.nearest_pair_diffs.size());
+  EXPECT_EQ(r.edges_achieved, r.random_pair_diffs.size());
+}
+
+TEST(Proximity, PrebuiltViewMatchesSelfBuilt) {
+  const auto ds = medium_space(98, 100);
+  ProximityParams p;
+  p.sample_edges = 300;
+  const delayspace::DelayMatrixView view(ds.measured);
+  const ProximityResult a = proximity_experiment(ds.measured, p);
+  const ProximityResult b = proximity_experiment(ds.measured, p, &view);
+  ASSERT_EQ(a.nearest_pair_diffs.size(), b.nearest_pair_diffs.size());
+  for (std::size_t i = 0; i < a.nearest_pair_diffs.size(); ++i) {
+    EXPECT_EQ(a.nearest_pair_diffs[i], b.nearest_pair_diffs[i]);
+    EXPECT_EQ(a.random_pair_diffs[i], b.random_pair_diffs[i]);
+  }
 }
 
 TEST(Proximity, NearestPairsOnlyMarginallyMoreSimilar) {

@@ -1,15 +1,19 @@
 // TIV-aware one-hop detour routing.
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
 #include "core/detour.hpp"
 #include "delayspace/generate.hpp"
+#include "matrix_test_utils.hpp"
+#include "util/rng.hpp"
 
 namespace tiv::core {
 namespace {
 
 using delayspace::DelayMatrix;
+using delayspace::DelayMatrixView;
 using delayspace::HostId;
 
 /// Severely violated edge 0-1 (100 ms) with a relay cloud 5 ms from both.
@@ -87,6 +91,100 @@ TEST(DetourRouter, AchievedNeverWorseThanDirect) {
     EXPECT_LE(d.achieved_ms, d.direct_ms + 1e-6);
     EXPECT_GE(d.achieved_ms, router.oracle_one_hop(a, b) - 1e-6);
   }
+}
+
+using tiv::test::random_matrix;
+
+TEST(DetourRouter, MaskedOracleExactlyEqualsScalarOracle) {
+  // The masked lane scan and the seed's branchy scan do identical double
+  // arithmetic and min is order-free, so the two must agree bit for bit —
+  // including pairs with no direct measurement and pairs with no valid
+  // relay, on dense, 30%-missing, missing-heavy, and tiny matrices.
+  struct Case {
+    HostId n;
+    double missing;
+  };
+  for (const Case c : {Case{40, 0.0}, Case{40, 0.3}, Case{32, 0.9},
+                       Case{2, 0.0}, Case{3, 0.5}, Case{5, 0.3},
+                       Case{7, 0.95}}) {
+    const DelayMatrix m = random_matrix(c.n, c.missing, 400 + c.n);
+    embedding::VivaldiParams vp;
+    vp.seed = 5;
+    const embedding::VivaldiSystem sys(m, vp);
+    const DetourRouter router(sys, {});
+    for (HostId a = 0; a < c.n; ++a) {
+      for (HostId b = a + 1; b < c.n; ++b) {
+        EXPECT_EQ(router.oracle_one_hop(a, b),
+                  router.oracle_one_hop_scalar(a, b))
+            << "n=" << c.n << " missing=" << c.missing << " pair (" << a
+            << ", " << b << ")";
+      }
+    }
+  }
+}
+
+TEST(DetourRouter, AcceptsPrebuiltView) {
+  const DelayMatrix m = relay_cloud();
+  const auto sys = trained_system(m);
+  const DelayMatrixView view(m);
+  const DetourRouter with_view(sys, {}, &view);
+  const DetourRouter self_built(sys, {});
+  Rng rng(1);
+  for (HostId a = 0; a < m.size(); ++a) {
+    for (HostId b = a + 1; b < m.size(); ++b) {
+      EXPECT_EQ(with_view.oracle_one_hop(a, b),
+                self_built.oracle_one_hop(a, b));
+      const DetourDecision da = with_view.route(a, b, rng);
+      const DetourDecision db = self_built.route(a, b, rng);
+      EXPECT_EQ(da.achieved_ms, db.achieved_ms);
+      EXPECT_EQ(da.probes, db.probes);
+    }
+  }
+}
+
+TEST(DetourRouter, UnmeasuredPairEarlyReturnsWithMeasuredFlag) {
+  // (0, 1) has no measurement: route must flag it and spend nothing,
+  // instead of alerting on a NaN prediction ratio and probing relays.
+  DelayMatrix m(4);
+  m.set(0, 2, 5.0f);
+  m.set(1, 2, 5.0f);
+  m.set(0, 3, 6.0f);
+  m.set(1, 3, 6.0f);
+  m.set(2, 3, 4.0f);
+  embedding::VivaldiParams vp;
+  vp.seed = 11;
+  embedding::VivaldiSystem sys(m, vp);
+  sys.run(50);
+  const DetourRouter router(sys, {});
+  Rng rng(2);
+  const DetourDecision d = router.route(0, 1, rng);
+  EXPECT_FALSE(d.measured);
+  EXPECT_FALSE(d.alerted);
+  EXPECT_FALSE(d.detoured);
+  EXPECT_EQ(d.probes, 0u);
+  EXPECT_TRUE(std::isinf(d.direct_ms));
+  EXPECT_TRUE(std::isinf(d.achieved_ms));
+  // A measured pair reports the flag set.
+  EXPECT_TRUE(router.route(0, 2, rng).measured);
+}
+
+TEST(DetourEvaluation, ReportsAchievedVsRequestedOnSparseMatrix) {
+  // 4 positive measured edges in a 20-host matrix: a 500-edge request must
+  // exhaust, and the duplicate-free sampler caps achieved at 4 distinct
+  // edges (the old sampler padded the shortfall with duplicates).
+  DelayMatrix m(20);
+  m.set(0, 1, 10.0f);
+  m.set(2, 3, 12.0f);
+  m.set(4, 5, 14.0f);
+  m.set(6, 7, 16.0f);
+  embedding::VivaldiParams vp;
+  vp.seed = 13;
+  embedding::VivaldiSystem sys(m, vp);
+  sys.run(50);
+  const DetourEvaluation eval = evaluate_detour_routing(sys, {}, 500);
+  EXPECT_EQ(eval.edges_requested, 500u);
+  EXPECT_LE(eval.edges, 4u);
+  EXPECT_LT(eval.edges, eval.edges_requested);
 }
 
 TEST(DetourEvaluation, TivAwareBeatsDirectAndSpendsFewerProbesThanRandom) {

@@ -18,6 +18,7 @@
 
 #include "core/severity.hpp"
 #include "delayspace/delay_matrix.hpp"
+#include "matrix_test_utils.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -28,18 +29,7 @@ using delayspace::DelayMatrix;
 using delayspace::DelayMatrixView;
 using delayspace::HostId;
 
-DelayMatrix random_matrix(HostId n, double missing_fraction,
-                          std::uint64_t seed) {
-  DelayMatrix m(n);
-  Rng rng(seed);
-  for (HostId i = 0; i < n; ++i) {
-    for (HostId j = i + 1; j < n; ++j) {
-      if (rng.bernoulli(missing_fraction)) continue;
-      m.set(i, j, static_cast<float>(rng.uniform(1.0, 400.0)));
-    }
-  }
-  return m;
-}
+using tiv::test::random_matrix;
 
 void expect_matches_scalar_reference(const DelayMatrix& m) {
   const TivAnalyzer a(m);

@@ -13,6 +13,7 @@
 #include "core/shard_severity.hpp"
 #include "core/severity.hpp"
 #include "delayspace/delay_matrix.hpp"
+#include "matrix_test_utils.hpp"
 #include "shard/tile_cache.hpp"
 #include "shard/tile_store.hpp"
 #include "util/parallel.hpp"
@@ -27,18 +28,7 @@ using delayspace::HostId;
 using shard::TileCache;
 using shard::TileStore;
 
-DelayMatrix random_matrix(HostId n, double missing_fraction,
-                          std::uint64_t seed) {
-  DelayMatrix m(n);
-  Rng rng(seed);
-  for (HostId i = 0; i < n; ++i) {
-    for (HostId j = i + 1; j < n; ++j) {
-      if (rng.bernoulli(missing_fraction)) continue;
-      m.set(i, j, static_cast<float>(rng.uniform(1.0, 400.0)));
-    }
-  }
-  return m;
-}
+using tiv::test::random_matrix;
 
 /// Unique scratch path; removed by the fixture-less tests themselves.
 std::string scratch_path(const std::string& tag) {
