@@ -2,6 +2,9 @@
 // (AB = 5 ms, BC = 5 ms, CA = 100 ms) over 100 simulated seconds. Paper
 // shape: no equilibrium exists; the per-edge errors oscillate endlessly
 // with large magnitude.
+//
+// --json emits flat records (sections: trace, summary) for machine-checkable
+// regressions; the summary carries the never-converges statistics.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -33,6 +36,35 @@ int main(int argc, char** argv) {
     trace.observe(sys);
   }
 
+  // Oscillation summary: the system never settles.
+  Summary late;
+  {
+    std::vector<double> tail;
+    for (std::size_t t = seconds / 2; t < seconds; ++t) {
+      tail.push_back(std::abs(trace.trace(2)[t]));
+    }
+    late = summarize(tail);
+  }
+
+  if (cfg.json) {
+    JsonArrayWriter json(std::cout);
+    for (std::uint32_t t = 0; t < seconds; ++t) {
+      json.object()
+          .field("section", std::string("trace"))
+          .field("t", t + 1)
+          .field("err_ab", trace.trace(0)[t], 3)
+          .field("err_bc", trace.trace(1)[t], 3)
+          .field("err_ca", trace.trace(2)[t], 3);
+    }
+    json.object()
+        .field("section", std::string("summary"))
+        .field("tail_seconds", seconds / 2)
+        .field("abs_err_ca_median", late.median, 3)
+        .field("abs_err_ca_min", late.min, 3)
+        .field("abs_err_ca_max", late.max, 3);
+    return 0;
+  }
+
   print_section(std::cout,
                 "Figure 10: Vivaldi error trace, 3-node TIV network");
   Table table({"t(s)", "err A-B", "err B-C", "err C-A"});
@@ -43,15 +75,6 @@ int main(int argc, char** argv) {
   }
   emit(table, cfg);
 
-  // Oscillation summary: the system never settles.
-  Summary late;
-  {
-    std::vector<double> tail;
-    for (std::size_t t = seconds / 2; t < seconds; ++t) {
-      tail.push_back(std::abs(trace.trace(2)[t]));
-    }
-    late = summarize(tail);
-  }
   std::cout << "\n|err C-A| over the last " << seconds / 2
             << " s: median=" << format_double(late.median, 1)
             << " ms, range=[" << format_double(late.min, 1) << ", "

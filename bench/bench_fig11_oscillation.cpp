@@ -4,6 +4,9 @@
 // of ms — even for very short edges. Also prints the in-text DS^2 numbers
 // (median abs error ~20 ms, 90th ~140 ms; movement 1.61 / 6.18 ms per
 // step).
+//
+// --json emits flat records (sections: bin, intext) for machine-checkable
+// regressions.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -26,7 +29,7 @@ int main(int argc, char** argv) {
   embedding::VivaldiParams vp;
   vp.seed = 5 ^ cfg.seed;
   embedding::VivaldiSystem sys(space.measured, vp);
-  std::cout << "warming up Vivaldi for " << warmup << " s...\n";
+  if (!cfg.json) std::cout << "warming up Vivaldi for " << warmup << " s...\n";
   sys.run(warmup);
 
   embedding::OscillationTracker tracker(space.measured, tracked);
@@ -40,11 +43,32 @@ int main(int argc, char** argv) {
   for (const auto& r : tracker.ranges(space.measured)) {
     series.add(r.measured_ms, r.range_ms);
   }
-  print_bins("Figure 11: prediction oscillation range (ms) vs edge delay",
-             series.bins(), cfg);
-
   const Summary err = sys.snapshot_error(200000).absolute_error();
   const Summary speed = movement.speed_summary();
+
+  if (cfg.json) {
+    JsonArrayWriter json(std::cout);
+    for (const Bin& b : series.bins()) {
+      json.object()
+          .field("section", std::string("bin"))
+          .field("delay_ms", b.x_center, 1)
+          .field("p10", b.p10, 3)
+          .field("median", b.median, 3)
+          .field("p90", b.p90, 3)
+          .field("mean", b.mean, 3)
+          .field("count", b.count);
+    }
+    json.object()
+        .field("section", std::string("intext"))
+        .field("median_abs_error_ms", err.median, 2)
+        .field("p90_abs_error_ms", err.p90, 2)
+        .field("median_movement_ms", speed.median, 3)
+        .field("p90_movement_ms", speed.p90, 3);
+    return 0;
+  }
+
+  print_bins("Figure 11: prediction oscillation range (ms) vs edge delay",
+             series.bins(), cfg);
   print_section(std::cout, "In-text Vivaldi statistics (paper: DS^2)");
   Table table({"metric", "measured", "paper"});
   table.add_row({"median abs error (ms)", format_double(err.median, 1), "20"});

@@ -1,0 +1,101 @@
+// Streaming TIV monitor: continuous measurement ingestion with live
+// severity maintenance — the src/stream/ subsystem end to end.
+//
+// A synthetic delay space plays the role of the live network. Each round, a
+// small fraction of its edges is "re-measured" with multiplicative noise
+// (plus occasional outages and recoveries), the samples are ingested
+// through an EWMA DelayStream, and IncrementalSeverity repairs exactly the
+// perturbed severities — O(dirty * n^2) instead of the O(n^3) rebuild a
+// snapshot analyzer would need — while a watch-list reports the currently
+// worst TIV edges.
+//
+//   ./streaming_monitor [--hosts=300] [--rounds=8] [--seed=1]
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "delayspace/datasets.hpp"
+#include "stream/delay_stream.hpp"
+#include "stream/incremental_severity.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tiv;
+  using delayspace::HostId;
+  const Flags flags(argc, argv);
+  const auto hosts = static_cast<std::uint32_t>(flags.get_int("hosts", 300));
+  const auto rounds = static_cast<int>(flags.get_int("rounds", 8));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  reject_unknown_flags(flags);
+
+  // The "network": a DS^2-like delay space whose matrix seeds the stream.
+  auto params = delayspace::dataset_params(delayspace::DatasetId::kDs2, hosts);
+  params.topology.seed ^= seed;
+  params.hosts.seed ^= seed;
+  const auto space = delayspace::generate_delay_space(params);
+
+  stream::EstimatorParams est;
+  est.policy = stream::SmoothingPolicy::kEwma;
+  est.ewma_alpha = 0.3f;
+  stream::DelayStream live(space.measured, est);
+  stream::IncrementalSeverity monitor(live.matrix());
+  const HostId n = live.matrix().size();
+  std::cout << "Monitoring " << n << " hosts ("
+            << live.matrix().measured_pair_count()
+            << " measured pairs); initial full severity build done\n\n";
+
+  Rng rng(seed ^ 0xfeedULL);
+  Table table({"round", "samples", "dirty hosts", "edges repaired",
+               "worst edge", "severity"});
+  for (int round = 1; round <= rounds; ++round) {
+    // Re-measure ~2% of hosts' edges this round: noise around the true
+    // delay, with a 5% outage / recovery mix (measured<->missing churn).
+    std::vector<stream::DelaySample> batch;
+    const auto probes = std::max<std::uint64_t>(2, n / 50);
+    for (std::uint64_t p = 0; p < probes; ++p) {
+      const auto a = static_cast<HostId>(rng.uniform_index(n));
+      const auto b = static_cast<HostId>(rng.uniform_index(n));
+      if (a == b) continue;
+      const float truth = space.measured.at(a, b);
+      float sample;
+      if (rng.bernoulli(0.05)) {
+        sample = delayspace::DelayMatrix::kMissing;  // probe timed out
+      } else if (truth >= 0.0f) {
+        sample = truth * static_cast<float>(rng.uniform(0.85, 1.25));
+      } else {
+        sample = static_cast<float>(rng.uniform(20.0, 300.0));  // new path
+      }
+      batch.push_back({a, b, sample, static_cast<double>(round)});
+    }
+    live.ingest(batch);
+
+    const stream::Epoch epoch = live.commit_epoch();
+    const auto stats = monitor.apply_epoch(live.matrix(), epoch.dirty_hosts);
+
+    // Watch-list: the worst currently-known severity among measured edges.
+    float worst = -1.0f;
+    HostId wa = 0;
+    HostId wb = 0;
+    for (HostId i = 0; i < n; ++i) {
+      for (HostId j = i + 1; j < n; ++j) {
+        if (monitor.severities().at(i, j) > worst) {
+          worst = monitor.severities().at(i, j);
+          wa = i;
+          wb = j;
+        }
+      }
+    }
+    table.add_row({std::to_string(round), std::to_string(batch.size()),
+                   std::to_string(epoch.dirty_hosts.size()),
+                   std::to_string(stats.edges_recomputed),
+                   std::to_string(wa) + "-" + std::to_string(wb),
+                   format_double(worst, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nEach round repaired only the edges incident to re-measured "
+               "hosts;\na snapshot analyzer would have rebuilt all "
+            << static_cast<std::size_t>(n) * (n - 1) / 2 << " severities.\n";
+  return 0;
+}

@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/parallel.hpp"
-#include "util/rng.hpp"
+#include "core/edge_sampling.hpp"
 
 namespace tiv::core {
 
@@ -27,27 +26,23 @@ std::vector<EdgeRatioSample> collect_ratio_severity_samples(
     const embedding::VivaldiSystem& system, std::size_t count,
     std::uint64_t seed) {
   const auto& matrix = system.matrix();
-  const auto n = matrix.size();
-  Rng rng(seed);
-  std::vector<EdgeRatioSample> samples;
-  samples.reserve(count);
-  std::size_t attempts = 0;
-  while (samples.size() < count && attempts < count * 30) {
-    ++attempts;
-    auto a = static_cast<HostId>(rng.uniform_index(n));
-    auto b = static_cast<HostId>(rng.uniform_index(n));
-    if (a == b || !matrix.has(a, b)) continue;
-    if (a > b) std::swap(a, b);
-    EdgeRatioSample s;
-    s.a = a;
-    s.b = b;
-    s.ratio = system.prediction_ratio(a, b);
-    samples.push_back(s);
+  // Shared duplicate-free sampler: the hand-rolled loop this replaces drew
+  // with replacement, so the accuracy/recall figures could double-count an
+  // edge, and on missing-heavy matrices it silently under-sampled with the
+  // shortfall invisible to callers.
+  const PairSample sample = sample_measured_pairs(matrix, count, seed);
+  std::vector<EdgeRatioSample> samples(sample.pairs.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i].a = sample.pairs[i].first;
+    samples[i].b = sample.pairs[i].second;
+    samples[i].ratio = system.prediction_ratio(samples[i].a, samples[i].b);
   }
   const TivAnalyzer analyzer(matrix);
-  parallel_for(samples.size(), [&](std::size_t i) {
-    samples[i].severity = analyzer.edge_severity(samples[i].a, samples[i].b);
-  });
+  const std::vector<double> severities =
+      analyzer.edge_severity_batch(sample.pairs);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i].severity = severities[i];
+  }
   return samples;
 }
 

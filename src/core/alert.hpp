@@ -55,8 +55,12 @@ struct EdgeRatioSample {
   double severity = 0.0;
 };
 
-/// Collects (prediction ratio, severity) for `count` random measured edges
-/// of the system's matrix (severity computed exactly, O(count * N)).
+/// Collects (prediction ratio, severity) for up to `count` *distinct*
+/// random measured edges of the system's matrix (severity computed exactly
+/// through the batched edge engine, O(count * N)). Sampling goes through
+/// the shared MeasuredPairSampler: no duplicate edges, and on missing-heavy
+/// matrices the result is shorter than `count` once the rejection budget
+/// exhausts rather than looping forever.
 std::vector<EdgeRatioSample> collect_ratio_severity_samples(
     const embedding::VivaldiSystem& system, std::size_t count,
     std::uint64_t seed = 321);

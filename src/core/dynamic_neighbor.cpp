@@ -13,30 +13,47 @@ DynamicNeighborVivaldi::DynamicNeighborVivaldi(
     const DynamicNeighborParams& params)
     : system_(matrix, vivaldi_params),
       params_(params),
+      view_(matrix),
       rng_(params.seed) {
   system_.run(params_.period_seconds);
 }
 
 void DynamicNeighborVivaldi::run_iteration() {
   const auto n = static_cast<HostId>(system_.size());
-  const auto& matrix = system_.matrix();
   const std::uint32_t keep = system_.params().neighbors_per_node;
 
+  // Flat sorted candidate vector instead of the former per-host std::set:
+  // the set cost a node allocation per insert and pointer-chasing lookups;
+  // the candidate union is tiny (<= 2 * keep), so binary search + vector
+  // insert stays in one or two cache lines. Iteration order (ascending id)
+  // and the rng draw sequence are identical to the set version.
+  std::vector<HostId> candidates;
+  candidates.reserve(static_cast<std::size_t>(keep) * 2);
   for (HostId i = 0; i < n; ++i) {
-    // Union of current neighbors and a fresh random sample of equal size.
-    std::set<HostId> candidates(system_.neighbors(i).begin(),
-                                system_.neighbors(i).end());
+    candidates.assign(system_.neighbors(i).begin(),
+                      system_.neighbors(i).end());
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    // Measured-pair probes answered by the packed view's missing bitmask
+    // (bit j of mask row i is set iff (i, j) is measured and j != i —
+    // exactly matrix.has(i, j)).
+    const std::uint64_t* mask = view_.mask_row(i);
     std::size_t attempts = 0;
     const std::size_t target = candidates.size() + keep;
     while (candidates.size() < target && attempts < std::size_t{20} * keep) {
       ++attempts;
       const auto j = static_cast<HostId>(rng_.uniform_index(n));
-      if (j != i && matrix.has(i, j)) candidates.insert(j);
+      if (((mask[j >> 6] >> (j & 63)) & 1u) == 0) continue;
+      const auto pos =
+          std::lower_bound(candidates.begin(), candidates.end(), j);
+      if (pos != candidates.end() && *pos == j) continue;  // duplicate
+      candidates.insert(pos, j);
     }
 
     // Rank by prediction ratio, descending: small ratio = shrunk edge =
     // likely severe TIV = dropped first.
-    std::vector<HostId> ranked(candidates.begin(), candidates.end());
+    std::vector<HostId> ranked = candidates;
     std::sort(ranked.begin(), ranked.end(), [&](HostId a, HostId b) {
       return system_.prediction_ratio(i, a) > system_.prediction_ratio(i, b);
     });

@@ -27,6 +27,9 @@ class DynamicNeighborVivaldi {
  public:
   /// Wraps a fresh Vivaldi system over the matrix and runs the initial
   /// period (iteration 0 ends converged on the original random neighbors).
+  /// Packs a DelayMatrixView once: the per-host candidate resampling of
+  /// every later iteration answers its matrix.has probes from the view's
+  /// missing bitmasks instead of float sign tests on the raw matrix.
   DynamicNeighborVivaldi(const delayspace::DelayMatrix& matrix,
                          const embedding::VivaldiParams& vivaldi_params,
                          const DynamicNeighborParams& params);
@@ -47,6 +50,7 @@ class DynamicNeighborVivaldi {
  private:
   embedding::VivaldiSystem system_;
   DynamicNeighborParams params_;
+  delayspace::DelayMatrixView view_;  ///< masks for the candidate probes
   Rng rng_;
   std::uint32_t iterations_ = 0;
 };

@@ -148,6 +148,17 @@ void DelayMatrixView::pack_row_segment(const DelayMatrix& m, HostId i,
   }
 }
 
+void DelayMatrixView::repack_row(const DelayMatrix& m, HostId i) {
+  assert(m.size() == n_ && i < n_);
+  // pack_row_segment only ORs mask bits in, so clear the row's words first;
+  // padding columns [n_, stride_) hold kMaskedDelay from construction and
+  // are never written by either path, so they stay byte-identical to a
+  // fresh build.
+  std::uint64_t* mask = masks_.data() + i * mask_words_;
+  for (std::size_t w = 0; w < mask_words_; ++w) mask[w] = 0;
+  pack_row_segment(m, i, 0, n_, delays_ + i * stride_, mask);
+}
+
 std::size_t DelayMatrixView::witness_count(HostId a, HostId c) const {
   const std::uint64_t* ma = mask_row(a);
   const std::uint64_t* mc = mask_row(c);

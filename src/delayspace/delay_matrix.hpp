@@ -97,7 +97,9 @@ class DelayMatrix {
 /// sweep — b == a and b == c fall out automatically because a row's own bit
 /// is never set.
 ///
-/// The view holds a snapshot: mutate the DelayMatrix and rebuild the view.
+/// The view holds a snapshot: mutate the DelayMatrix and rebuild the view —
+/// or, when only a few hosts changed, repack_row the touched rows in place
+/// (the streaming engine's incremental path, see src/stream/).
 class DelayMatrixView {
  public:
   /// Sentinel for missing/padding entries. Large enough that any sum
@@ -126,6 +128,15 @@ class DelayMatrixView {
   static void pack_row_segment(const DelayMatrix& m, HostId i,
                                HostId col_begin, HostId col_end, float* out,
                                std::uint64_t* mask);
+
+  /// Re-packs row i (delays + missing bitmask) from `m`, which must be the
+  /// matrix this view was built from (same size), possibly mutated since.
+  /// An edge update (a, b) changes exactly rows a and b of the packed
+  /// encoding, so repacking every touched host's row brings the view back
+  /// to what a from-scratch build over the mutated matrix would produce —
+  /// byte-identical, padding included. O(n) per row; the incremental
+  /// alternative to the O(n^2) constructor.
+  void repack_row(const DelayMatrix& m, HostId i);
 
   // Non-copyable/movable: delays_ points into delay_storage_, so a copied
   // view would alias (then dangle with) the source's buffer.

@@ -1,0 +1,125 @@
+#include "stream/delay_stream.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tiv::stream {
+
+EdgeEstimator::EdgeEstimator(const EstimatorParams& params) : params_(params) {
+  if (params_.policy == SmoothingPolicy::kWindowedMin) {
+    ring_.assign(std::max<std::uint32_t>(params_.window, 1), 0.0f);
+  }
+}
+
+float EdgeEstimator::update(float sample_ms) {
+  assert(sample_ms >= 0.0f);
+  switch (params_.policy) {
+    case SmoothingPolicy::kLatest:
+      estimate_ = sample_ms;
+      break;
+    case SmoothingPolicy::kEwma:
+      estimate_ = estimate_ < 0.0f
+                      ? sample_ms  // first sample seeds the average
+                      : params_.ewma_alpha * sample_ms +
+                            (1.0f - params_.ewma_alpha) * estimate_;
+      break;
+    case SmoothingPolicy::kWindowedMin: {
+      ring_[ring_next_] = sample_ms;
+      ring_next_ = (ring_next_ + 1) % static_cast<std::uint32_t>(ring_.size());
+      ring_count_ = std::min<std::uint32_t>(
+          ring_count_ + 1, static_cast<std::uint32_t>(ring_.size()));
+      float best = ring_[0];
+      for (std::uint32_t k = 1; k < ring_count_; ++k) {
+        best = std::min(best, ring_[k]);
+      }
+      estimate_ = best;
+      break;
+    }
+  }
+  return estimate_;
+}
+
+DelayStream::DelayStream(DelayMatrix initial, EstimatorParams params)
+    : matrix_(std::move(initial)),
+      params_(params),
+      host_dirty_(matrix_.size(), 0) {}
+
+void DelayStream::mark_dirty(HostId h) {
+  if (!host_dirty_[h]) {
+    host_dirty_[h] = 1;
+    dirty_hosts_.push_back(h);
+  }
+}
+
+void DelayStream::ingest(const DelaySample& sample) {
+  const HostId n = matrix_.size();
+  // Non-finite delays are producer bugs, not loss reports: a NaN that
+  // reached the EWMA would poison every later blend, and an inf entry
+  // would read as measured to the scalar analyzers but masked to the
+  // packed view — the exact divergence the engine's bit-identity contract
+  // forbids.
+  if (sample.a == sample.b || sample.a >= n || sample.b >= n ||
+      !std::isfinite(sample.delay_ms)) {
+    ++stats_.samples_rejected;
+    return;
+  }
+  const std::uint64_t key = edge_key(sample.a, sample.b);
+  // Out-of-order guard: an edge's samples must arrive with non-decreasing
+  // timestamps; a stale straggler is dropped rather than rewinding the
+  // estimate. Equal timestamps are accepted (same-batch re-measurement).
+  auto [ts_it, first_sample] = last_timestamp_.try_emplace(key, sample.timestamp);
+  if (!first_sample) {
+    if (sample.timestamp < ts_it->second) {
+      ++stats_.samples_rejected;
+      return;
+    }
+    ts_it->second = sample.timestamp;
+  }
+  ++stats_.samples_applied;
+
+  const float old = matrix_.at(sample.a, sample.b);
+  if (sample.delay_ms < 0.0f) {
+    // Loss report: drop the smoothing history so a later re-measurement
+    // starts fresh instead of averaging against pre-outage state.
+    estimators_.erase(key);
+    if (old >= 0.0f) {
+      matrix_.set_missing(sample.a, sample.b);
+      ++stats_.became_missing;
+      ++stats_.edges_touched;
+      mark_dirty(sample.a);
+      mark_dirty(sample.b);
+    }
+    return;
+  }
+
+  auto [est_it, inserted] = estimators_.try_emplace(key, params_);
+  const float estimate = est_it->second.update(sample.delay_ms);
+  if (old < 0.0f) ++stats_.became_measured;
+  // Dirty only on an actual matrix change: a repeated identical estimate
+  // keeps the epoch clean and the incremental consumers idle.
+  if (old < 0.0f || estimate != old) {
+    matrix_.set(sample.a, sample.b, estimate);
+    ++stats_.edges_touched;
+    mark_dirty(sample.a);
+    mark_dirty(sample.b);
+  }
+}
+
+void DelayStream::ingest(std::span<const DelaySample> batch) {
+  for (const DelaySample& s : batch) ingest(s);
+}
+
+Epoch DelayStream::commit_epoch() {
+  Epoch out;
+  out.index = epoch_++;
+  out.stats = stats_;
+  out.dirty_hosts = std::move(dirty_hosts_);
+  std::sort(out.dirty_hosts.begin(), out.dirty_hosts.end());
+  for (const HostId h : out.dirty_hosts) host_dirty_[h] = 0;
+  dirty_hosts_.clear();
+  stats_ = EpochStats{};
+  return out;
+}
+
+}  // namespace tiv::stream

@@ -1,0 +1,18 @@
+#include "stream/incremental_view.hpp"
+
+#include "util/parallel.hpp"
+
+namespace tiv::stream {
+
+void IncrementalView::apply_epoch(const DelayMatrix& matrix,
+                                  std::span<const HostId> dirty_hosts) {
+  // Row repacks are independent; epochs large enough to matter (bulk churn,
+  // initial backfill) spread across the pool, tiny ones stay cheap because
+  // parallel_for degenerates to the calling thread.
+  parallel_for(dirty_hosts.size(), [&](std::size_t k) {
+    view_.repack_row(matrix, dirty_hosts[k]);
+  });
+  rows_repacked_ += dirty_hosts.size();
+}
+
+}  // namespace tiv::stream

@@ -1,0 +1,47 @@
+// Epoch-synchronized packed view: dirty-row repacking instead of the full
+// O(n^2) DelayMatrixView rebuild.
+//
+// The packed encoding is row-local — an edge update (a, b) changes exactly
+// rows a and b (delays and missing bitmask) — so repairing the view after
+// an epoch costs O(dirty_hosts * n) row repacks. The repacked view is
+// byte-identical to a from-scratch DelayMatrixView over the mutated matrix
+// (repack_row reuses pack_row_segment, the single definition of the
+// encoding), which is what lets the incremental severity layer keep its
+// bit-identity contract.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "delayspace/delay_matrix.hpp"
+
+namespace tiv::stream {
+
+using delayspace::DelayMatrix;
+using delayspace::DelayMatrixView;
+using delayspace::HostId;
+
+class IncrementalView {
+ public:
+  /// Packs the full view once (the O(n^2) cost paid a single time).
+  explicit IncrementalView(const DelayMatrix& matrix) : view_(matrix) {}
+
+  /// The packed view, valid between apply_epoch calls. Safe to hand to
+  /// TivAnalyzer batch calls and the witness kernels.
+  const DelayMatrixView& view() const { return view_; }
+
+  /// Repacks the rows of `dirty_hosts` from `matrix` (the same matrix this
+  /// view tracks, mutated since the last sync). O(dirty * n).
+  void apply_epoch(const DelayMatrix& matrix,
+                   std::span<const HostId> dirty_hosts);
+
+  /// Lifetime row-repack counter (bench/diagnostic: incremental work done
+  /// vs the n rows a full rebuild would pack per epoch).
+  std::uint64_t rows_repacked() const { return rows_repacked_; }
+
+ private:
+  DelayMatrixView view_;
+  std::uint64_t rows_repacked_ = 0;
+};
+
+}  // namespace tiv::stream

@@ -1,0 +1,315 @@
+// Streaming TIV engine (src/stream/): ingestion semantics, dirty-epoch
+// tracking, incremental view repair, and the headline contract — the
+// incrementally maintained severity matrix is *bit-identical* to a
+// from-scratch TivAnalyzer::all_severities rebuild after every committed
+// epoch, across randomized update sequences that include measured<->missing
+// toggles and repeated same-edge updates within one epoch.
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/severity.hpp"
+#include "matrix_test_utils.hpp"
+#include "stream/delay_stream.hpp"
+#include "stream/incremental_severity.hpp"
+#include "stream/incremental_view.hpp"
+#include "util/rng.hpp"
+
+namespace tiv::stream {
+namespace {
+
+using core::SeverityMatrix;
+using core::TivAnalyzer;
+using delayspace::DelayMatrix;
+using delayspace::DelayMatrixView;
+using delayspace::HostId;
+
+// --- EdgeEstimator ----------------------------------------------------------
+
+TEST(EdgeEstimator, LatestTracksMostRecentSample) {
+  EstimatorParams p;
+  p.policy = SmoothingPolicy::kLatest;
+  EdgeEstimator est(p);
+  EXPECT_EQ(est.estimate(), DelayMatrix::kMissing);
+  EXPECT_FLOAT_EQ(est.update(10.0f), 10.0f);
+  EXPECT_FLOAT_EQ(est.update(3.0f), 3.0f);
+  EXPECT_FLOAT_EQ(est.estimate(), 3.0f);
+}
+
+TEST(EdgeEstimator, EwmaSeedsThenBlends) {
+  EstimatorParams p;
+  p.policy = SmoothingPolicy::kEwma;
+  p.ewma_alpha = 0.5f;
+  EdgeEstimator est(p);
+  EXPECT_FLOAT_EQ(est.update(100.0f), 100.0f);  // first sample seeds
+  EXPECT_FLOAT_EQ(est.update(50.0f), 75.0f);
+  EXPECT_FLOAT_EQ(est.update(75.0f), 75.0f);
+}
+
+TEST(EdgeEstimator, WindowedMinEvictsOldSamples) {
+  EstimatorParams p;
+  p.policy = SmoothingPolicy::kWindowedMin;
+  p.window = 3;
+  EdgeEstimator est(p);
+  EXPECT_FLOAT_EQ(est.update(30.0f), 30.0f);
+  EXPECT_FLOAT_EQ(est.update(10.0f), 10.0f);  // min of {30, 10}
+  EXPECT_FLOAT_EQ(est.update(20.0f), 10.0f);  // min of {30, 10, 20}
+  EXPECT_FLOAT_EQ(est.update(25.0f), 10.0f);  // 30 evicted
+  EXPECT_FLOAT_EQ(est.update(40.0f), 20.0f);  // 10 evicted
+  EXPECT_FLOAT_EQ(est.update(50.0f), 25.0f);  // 20 evicted
+}
+
+// --- DelayStream ------------------------------------------------------------
+
+TEST(DelayStream, AppliesSamplesSymmetricallyAndTracksDirtyHosts) {
+  DelayStream stream(DelayMatrix(5));
+  stream.ingest({1, 3, 42.0f, 0.0});
+  EXPECT_FLOAT_EQ(stream.matrix().at(1, 3), 42.0f);
+  EXPECT_FLOAT_EQ(stream.matrix().at(3, 1), 42.0f);
+  EXPECT_EQ(stream.pending_dirty_hosts(), 2u);
+
+  const Epoch ep = stream.commit_epoch();
+  EXPECT_EQ(ep.index, 0u);
+  EXPECT_EQ(ep.dirty_hosts, (std::vector<HostId>{1, 3}));
+  EXPECT_EQ(ep.stats.samples_applied, 1u);
+  EXPECT_EQ(ep.stats.became_measured, 1u);
+  EXPECT_EQ(stream.pending_dirty_hosts(), 0u);
+  EXPECT_EQ(stream.epochs_committed(), 1u);
+}
+
+TEST(DelayStream, IdenticalResampleStaysClean) {
+  DelayStream stream(DelayMatrix(4));  // kLatest policy
+  stream.ingest({0, 1, 10.0f, 0.0});
+  stream.commit_epoch();
+  stream.ingest({0, 1, 10.0f, 1.0});  // same value: matrix unchanged
+  const Epoch ep = stream.commit_epoch();
+  EXPECT_TRUE(ep.dirty_hosts.empty());
+  EXPECT_EQ(ep.stats.samples_applied, 1u);
+  EXPECT_EQ(ep.stats.edges_touched, 0u);
+}
+
+TEST(DelayStream, RejectsNonFiniteSamples) {
+  DelayStream stream(DelayMatrix(4));
+  stream.ingest({0, 1, 50.0f, 0.0});
+  stream.ingest({0, 1, std::numeric_limits<float>::quiet_NaN(), 1.0});
+  stream.ingest({0, 1, std::numeric_limits<float>::infinity(), 2.0});
+  stream.ingest({0, 1, -std::numeric_limits<float>::infinity(), 3.0});
+  const Epoch ep = stream.commit_epoch();
+  EXPECT_EQ(ep.stats.samples_rejected, 3u);
+  EXPECT_FLOAT_EQ(stream.matrix().at(0, 1), 50.0f);  // untouched
+  // Rejected samples must not advance the edge's timestamp watermark.
+  stream.ingest({0, 1, 60.0f, 0.5});
+  EXPECT_FLOAT_EQ(stream.matrix().at(0, 1), 60.0f);
+}
+
+TEST(DelayStream, RejectsSelfPairsAndStaleTimestamps) {
+  DelayStream stream(DelayMatrix(4));
+  stream.ingest({2, 2, 5.0f, 0.0});  // self pair
+  stream.ingest({0, 1, 10.0f, 5.0});
+  stream.ingest({0, 1, 99.0f, 4.0});  // older than the applied sample
+  stream.ingest({0, 1, 20.0f, 5.0});  // equal timestamp is accepted
+  const Epoch ep = stream.commit_epoch();
+  EXPECT_EQ(ep.stats.samples_rejected, 2u);
+  EXPECT_EQ(ep.stats.samples_applied, 2u);
+  EXPECT_FLOAT_EQ(stream.matrix().at(0, 1), 20.0f);
+}
+
+TEST(DelayStream, LossReportTransitionsToMissingAndClearsHistory) {
+  EstimatorParams p;
+  p.policy = SmoothingPolicy::kEwma;
+  p.ewma_alpha = 0.5f;
+  DelayStream stream(DelayMatrix(4), p);
+  stream.ingest({0, 1, 100.0f, 0.0});
+  stream.ingest({0, 1, DelayMatrix::kMissing, 1.0});
+  EXPECT_FALSE(stream.matrix().has(0, 1));
+  Epoch ep = stream.commit_epoch();
+  EXPECT_EQ(ep.stats.became_missing, 1u);
+  EXPECT_EQ(ep.dirty_hosts, (std::vector<HostId>{0, 1}));
+
+  // Re-measurement after the outage seeds a fresh EWMA (no blending with
+  // the pre-outage 100 ms).
+  stream.ingest({0, 1, 10.0f, 2.0});
+  EXPECT_FLOAT_EQ(stream.matrix().at(0, 1), 10.0f);
+  ep = stream.commit_epoch();
+  EXPECT_EQ(ep.stats.became_measured, 1u);
+}
+
+TEST(DelayStream, MissingReportOnMissingEdgeStaysClean) {
+  DelayStream stream(DelayMatrix(4));
+  stream.ingest({0, 1, DelayMatrix::kMissing, 0.0});
+  const Epoch ep = stream.commit_epoch();
+  EXPECT_TRUE(ep.dirty_hosts.empty());
+  EXPECT_EQ(ep.stats.became_missing, 0u);
+}
+
+// --- IncrementalView --------------------------------------------------------
+
+/// Packed views agree byte-for-byte: delay rows over the full padded
+/// stride, and all mask words.
+void expect_views_identical(const DelayMatrixView& got,
+                            const DelayMatrixView& want) {
+  ASSERT_EQ(got.size(), want.size());
+  ASSERT_EQ(got.stride(), want.stride());
+  ASSERT_EQ(got.mask_words(), want.mask_words());
+  for (HostId i = 0; i < got.size(); ++i) {
+    const float* gr = got.row(i);
+    const float* wr = want.row(i);
+    for (std::size_t b = 0; b < got.stride(); ++b) {
+      ASSERT_EQ(std::bit_cast<std::uint32_t>(gr[b]),
+                std::bit_cast<std::uint32_t>(wr[b]))
+          << "row " << i << " col " << b;
+    }
+    for (std::size_t w = 0; w < got.mask_words(); ++w) {
+      ASSERT_EQ(got.mask_row(i)[w], want.mask_row(i)[w]) << "row " << i;
+    }
+  }
+}
+
+TEST(IncrementalView, DirtyRowRepackMatchesFreshBuild) {
+  for (const double missing : {0.0, 0.3, 0.9}) {
+    DelayMatrix m = test::random_matrix(70, missing, 91);  // multi-word masks
+    IncrementalView iv(m);
+    Rng rng(7);
+    for (int round = 0; round < 5; ++round) {
+      std::vector<HostId> dirty;
+      std::vector<std::uint8_t> is_dirty(m.size(), 0);
+      for (int u = 0; u < 6; ++u) {
+        const auto a = static_cast<HostId>(rng.uniform_index(m.size()));
+        const auto b = static_cast<HostId>(rng.uniform_index(m.size()));
+        if (a == b) continue;
+        if (rng.bernoulli(0.25)) {
+          m.set_missing(a, b);
+        } else {
+          m.set(a, b, static_cast<float>(rng.uniform(1.0, 400.0)));
+        }
+        for (const HostId h : {a, b}) {
+          if (!is_dirty[h]) {
+            is_dirty[h] = 1;
+            dirty.push_back(h);
+          }
+        }
+      }
+      iv.apply_epoch(m, dirty);
+      expect_views_identical(iv.view(), DelayMatrixView(m));
+    }
+    EXPECT_GT(iv.rows_repacked(), 0u);
+  }
+}
+
+// --- IncrementalSeverity: the bit-identity contract -------------------------
+
+::testing::AssertionResult severities_bit_identical(const SeverityMatrix& got,
+                                                    const SeverityMatrix& want) {
+  if (got.size() != want.size()) {
+    return ::testing::AssertionFailure() << "size mismatch";
+  }
+  for (HostId i = 0; i < got.size(); ++i) {
+    for (HostId j = 0; j < got.size(); ++j) {
+      const auto g = std::bit_cast<std::uint32_t>(got.at(i, j));
+      const auto w = std::bit_cast<std::uint32_t>(want.at(i, j));
+      if (g != w) {
+        return ::testing::AssertionFailure()
+               << "severity (" << i << ", " << j << "): bits " << g
+               << " != " << w << " (" << got.at(i, j) << " vs "
+               << want.at(i, j) << ")";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Replays `epochs` randomized epochs through a DelayStream +
+/// IncrementalSeverity and asserts bit-identity against a from-scratch
+/// rebuild after every commit. Each epoch mixes value updates, missing
+/// toggles (measured -> missing and back), and repeated updates to one
+/// deliberately hammered edge.
+void replay_and_check(HostId n, double missing, std::uint64_t seed,
+                      int epochs, SmoothingPolicy policy) {
+  EstimatorParams params;
+  params.policy = policy;
+  params.window = 3;
+  DelayStream stream(test::random_matrix(n, missing, seed), params);
+  IncrementalSeverity inc(stream.matrix());
+  Rng rng(seed ^ 0xabcdu);
+  for (int e = 0; e < epochs; ++e) {
+    const std::size_t updates = 1 + rng.uniform_index(2 * n);
+    for (std::size_t u = 0; u < updates; ++u) {
+      const auto a = static_cast<HostId>(rng.uniform_index(n));
+      const auto b = static_cast<HostId>(rng.uniform_index(n));
+      if (a == b) continue;
+      const float value =
+          rng.bernoulli(0.2) ? DelayMatrix::kMissing
+                             : static_cast<float>(rng.uniform(1.0, 400.0));
+      stream.ingest({a, b, value, double(e)});
+      if (u == 0 && rng.bernoulli(0.5)) {
+        // Same-edge re-update within the epoch: the estimator folds both
+        // samples, the host is dirtied once.
+        stream.ingest({a, b, static_cast<float>(rng.uniform(1.0, 400.0)),
+                       double(e)});
+      }
+    }
+    inc.apply_epoch(stream);
+    const TivAnalyzer analyzer(stream.matrix());
+    ASSERT_TRUE(
+        severities_bit_identical(inc.severities(), analyzer.all_severities()))
+        << "n=" << n << " missing=" << missing << " seed=" << seed
+        << " epoch=" << e;
+  }
+}
+
+TEST(IncrementalSeverity, BitIdenticalTinyMatrices) {
+  // The ISSUE's n < 8 grid: every density x seed x policy, several epochs —
+  // small enough that edge cases (empty witness sets, fully-missing rows)
+  // all occur.
+  for (const HostId n : {4, 5, 7}) {
+    for (const double missing : {0.0, 0.3, 0.9}) {
+      for (const std::uint64_t seed : {1ull, 2ull}) {
+        replay_and_check(n, missing, seed, 6, SmoothingPolicy::kLatest);
+      }
+    }
+  }
+}
+
+TEST(IncrementalSeverity, BitIdenticalAcrossPolicies) {
+  replay_and_check(6, 0.3, 11, 5, SmoothingPolicy::kEwma);
+  replay_and_check(6, 0.3, 11, 5, SmoothingPolicy::kWindowedMin);
+}
+
+TEST(IncrementalSeverity, BitIdenticalMultiLaneMatrix) {
+  // n past one mask word / several padding lanes: exercises the packed
+  // stride and multi-word masks on the incremental path.
+  replay_and_check(70, 0.3, 23, 4, SmoothingPolicy::kEwma);
+}
+
+TEST(IncrementalSeverity, CleanEpochRecomputesNothing) {
+  DelayStream stream(test::random_matrix(10, 0.2, 3));
+  IncrementalSeverity inc(stream.matrix());
+  const auto stats = inc.apply_epoch(stream);  // no samples ingested
+  EXPECT_EQ(stats.rows_repacked, 0u);
+  EXPECT_EQ(stats.edges_recomputed, 0u);
+}
+
+TEST(IncrementalSeverity, EdgeToggleMeasuredMissingMeasured) {
+  // Deterministic toggle scenario on a dense tiny matrix: severity of the
+  // toggled edge and of its incident edges must follow the full rebuild
+  // exactly through both transitions.
+  DelayStream stream(test::random_matrix(6, 0.0, 5));
+  IncrementalSeverity inc(stream.matrix());
+
+  stream.ingest({0, 1, DelayMatrix::kMissing, 0.0});
+  inc.apply_epoch(stream);
+  EXPECT_TRUE(severities_bit_identical(
+      inc.severities(), TivAnalyzer(stream.matrix()).all_severities()));
+  EXPECT_EQ(inc.severities().at(0, 1), 0.0f);  // unmeasured edge
+
+  stream.ingest({0, 1, 250.0f, 1.0});
+  inc.apply_epoch(stream);
+  EXPECT_TRUE(severities_bit_identical(
+      inc.severities(), TivAnalyzer(stream.matrix()).all_severities()));
+}
+
+}  // namespace
+}  // namespace tiv::stream
