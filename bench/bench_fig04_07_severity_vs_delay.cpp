@@ -3,7 +3,11 @@
 // more severe violations overall, but the relation is irregular (non-
 // monotone humps, huge within-bin spread) — severity cannot be predicted
 // from length.
+//
+// --json emits flat records (sections: samples, bin) for machine-checkable
+// regressions, including the achieved-vs-requested sample accounting.
 #include <iostream>
+#include <optional>
 
 #include "bench_common.hpp"
 #include "core/severity.hpp"
@@ -18,6 +22,9 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("edge-samples", 20000));
   const double bin_ms = flags.get_double("bin-ms", 10.0);
   reject_unknown_flags(flags);
+
+  std::optional<JsonArrayWriter> json;
+  if (cfg.json) json.emplace(std::cout);
 
   struct FigureRef {
     delayspace::DatasetId id;
@@ -39,8 +46,29 @@ int main(int argc, char** argv) {
     for (const auto& [edge, sev] : sampled) {
       series.add(space.measured.at(edge.first, edge.second), sev);
     }
-    print_bins(std::string(figure) + ": TIV severity vs edge delay",
-               series.bins(), cfg);
+    if (cfg.json) {
+      const std::string name = delayspace::dataset_name(id);
+      json->object()
+          .field("section", std::string("samples"))
+          .field("dataset", name)
+          .field("hosts", space.measured.size())
+          .field("edges_requested", samples)
+          .field("edges_achieved", sampled.size());
+      for (const Bin& b : series.bins()) {
+        json->object()
+            .field("section", std::string("bin"))
+            .field("dataset", name)
+            .field("delay_ms", b.x_center, 1)
+            .field("p10", b.p10, 4)
+            .field("median", b.median, 4)
+            .field("p90", b.p90, 4)
+            .field("mean", b.mean, 4)
+            .field("count", b.count);
+      }
+    } else {
+      print_bins(std::string(figure) + ": TIV severity vs edge delay",
+                 series.bins(), cfg);
+    }
   }
   return 0;
 }

@@ -4,12 +4,35 @@
 // mostly cross-cluster; between ~300-550 ms the shortest alternative path
 // stays flat (many alternatives -> severe TIVs), then jumps for the longest
 // edges (even the best path is long -> no severe TIVs possible).
+//
+// --json emits flat records (sections: meta, within_cluster_bin,
+// shortest_path_bin) for machine-checkable regressions.
 #include <iostream>
+#include <optional>
 
 #include "bench_common.hpp"
 #include "delayspace/clustering.hpp"
 #include "delayspace/overlay.hpp"
 #include "util/flags.hpp"
+
+namespace {
+
+void emit_bins_json(tiv::bench::JsonArrayWriter& json,
+                    const std::string& section,
+                    const std::vector<tiv::Bin>& bins) {
+  for (const tiv::Bin& b : bins) {
+    json.object()
+        .field("section", section)
+        .field("delay_ms", b.x_center, 1)
+        .field("p10", b.p10, 3)
+        .field("median", b.median, 3)
+        .field("p90", b.p90, 3)
+        .field("mean", b.mean, 3)
+        .field("count", b.count);
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tiv;
@@ -22,9 +45,11 @@ int main(int argc, char** argv) {
   const auto space = make_space(delayspace::DatasetId::kDs2, cfg);
   const auto& m = space.measured;
   const auto clustering = delayspace::cluster_delay_space(m, {});
-  std::cout << "hosts: " << m.size() << ", clusters: "
-            << clustering.num_clusters() << "\n";
-  std::cout << "computing all-pairs overlay shortest paths (O(N^3))...\n";
+  if (!cfg.json) {
+    std::cout << "hosts: " << m.size() << ", clusters: "
+              << clustering.num_clusters() << "\n";
+    std::cout << "computing all-pairs overlay shortest paths (O(N^3))...\n";
+  }
   const delayspace::OverlayPaths overlay(m);
 
   BinnedSeries within(0.0, 1000.0, bin_ms);
@@ -36,6 +61,17 @@ int main(int argc, char** argv) {
       within.add(d, clustering.same_cluster(i, j) ? 1.0 : 0.0);
       shortest.add(d, overlay.delay(i, j));
     }
+  }
+  if (cfg.json) {
+    JsonArrayWriter json(std::cout);
+    json.object()
+        .field("section", std::string("meta"))
+        .field("hosts", m.size())
+        .field("clusters", clustering.num_clusters())
+        .field("measured_pairs", m.measured_pair_count());
+    emit_bins_json(json, "within_cluster_bin", within.bins());
+    emit_bins_json(json, "shortest_path_bin", shortest.bins());
+    return 0;
   }
   print_bins("Figure 8 (top): fraction of within-cluster edges vs delay",
              within.bins(), cfg);

@@ -2,7 +2,11 @@
 // delay, for beta in {0.1, 0.5, 0.9}, DS^2. Paper shape: larger beta
 // tolerates more (lower curves); at beta = 0.5 placement errors run
 // 10-30% below 400 ms and grow sharply beyond.
+//
+// --json emits one flat "bin" record per (beta, delay bin) for
+// machine-checkable regressions.
 #include <iostream>
+#include <optional>
 
 #include "bench_common.hpp"
 #include "meridian/misplacement.hpp"
@@ -17,6 +21,9 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("sample-pairs", 60000));
   reject_unknown_flags(flags);
 
+  std::optional<JsonArrayWriter> json;
+  if (cfg.json) json.emplace(std::cout);
+
   const auto space = make_space(delayspace::DatasetId::kDs2, cfg);
   for (const double beta : {0.1, 0.5, 0.9}) {
     meridian::MisplacementParams p;
@@ -25,9 +32,23 @@ int main(int argc, char** argv) {
     p.sample_pairs = sample_pairs;
     p.seed = 13 ^ cfg.seed;
     const auto bins = meridian::misplacement_series(space.measured, p);
-    print_bins("Figure 13: fraction of ring members misplaced, beta = " +
-                   format_double(beta, 1),
-               bins, cfg);
+    if (cfg.json) {
+      for (const Bin& b : bins) {
+        json->object()
+            .field("section", std::string("bin"))
+            .field("beta", beta, 1)
+            .field("delay_ms", b.x_center, 1)
+            .field("p10", b.p10, 4)
+            .field("median", b.median, 4)
+            .field("p90", b.p90, 4)
+            .field("mean", b.mean, 4)
+            .field("count", b.count);
+      }
+    } else {
+      print_bins("Figure 13: fraction of ring members misplaced, beta = " +
+                     format_double(beta, 1),
+                 bins, cfg);
+    }
   }
   return 0;
 }

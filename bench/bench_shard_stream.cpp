@@ -1,0 +1,243 @@
+// Out-of-core live pipeline benchmark: ShardStreamEngine epoch repair
+// (dirty input-tile repack + dirty-edge severity recompute committed to
+// the on-disk sink) vs the full out-of-core rebuild (fresh input spill +
+// all_severities_to_sink), under small input/output cache budgets.
+//
+// One JSON record per churn point (bench_common JsonArrayWriter), each
+// carrying the acceptance properties CI asserts:
+//   bit_mismatches       engine severities read back through the sink
+//                        cache vs the in-memory all_severities of the
+//                        final mutated matrix — must be 0
+//   peak_within_budget   both tile caches' peak bytes stayed within their
+//                        configured budgets
+// plus the repair-vs-rebuild timings whose speedup docs/PERFORMANCE.md
+// quotes. Exit status is nonzero when a property fails, so a smoke run
+// turns CI red on its own.
+//
+// Flags:
+//   --quick                reduced scale (CI smoke run)
+//   --hosts=N              matrix size (default 512; 128 quick)
+//   --tile=T               tile edge, multiple of 16 (default 64; 16 quick)
+//   --input-budget-kb=B    input tile-cache budget (default 512)
+//   --output-budget-kb=B   severity tile-cache budget (default 256)
+//   --missing=F            missing-entry fraction (default 0.1)
+//   --epochs=E             epochs per churn point (default 4; 2 quick)
+//   --dir=PATH             scratch directory for the tile-store files
+//                          (default: system temp dir); files are removed
+//   --seed=S               RNG seed
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/severity.hpp"
+#include "core/shard_severity.hpp"
+#include "shard/tile_cache.hpp"
+#include "shard/tile_store.hpp"
+#include "sink/severity_tile_store.hpp"
+#include "stream/delay_stream.hpp"
+#include "stream/shard_stream.hpp"
+#include "util/flags.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using tiv::Rng;
+using tiv::core::SeverityMatrix;
+using tiv::core::TivAnalyzer;
+using tiv::delayspace::DelayMatrix;
+using tiv::delayspace::HostId;
+using tiv::stream::DelaySample;
+using tiv::stream::DelayStream;
+using tiv::stream::ShardStreamConfig;
+using tiv::stream::ShardStreamEngine;
+
+using tiv::bench::random_matrix;
+using tiv::bench::time_ms;
+
+/// One epoch of churn: `hosts` distinct hosts paired off into disjoint
+/// edges, each re-measured once (the bench_stream_engine workload).
+void replay_churn_epoch(DelayStream& stream, Rng& rng, std::size_t hosts,
+                        double t) {
+  const auto n = stream.matrix().size();
+  const auto k = static_cast<std::uint32_t>(std::min<std::size_t>(
+      hosts & ~std::size_t{1}, n & ~static_cast<std::size_t>(1)));
+  const auto picks = rng.sample_without_replacement(n, k);
+  std::vector<DelaySample> batch;
+  batch.reserve(k / 2);
+  for (std::uint32_t e = 0; e + 1 < k; e += 2) {
+    batch.push_back({picks[e], picks[e + 1],
+                     static_cast<float>(rng.uniform(1.0, 400.0)), t});
+  }
+  stream.ingest(batch);
+}
+
+/// Engine severities (sink readback) vs the in-memory kernel, cells whose
+/// float bits differ (0 = bit-identical).
+std::size_t bit_mismatches(ShardStreamEngine& engine,
+                           const SeverityMatrix& want) {
+  std::size_t bad = 0;
+  const HostId n = engine.size();
+  std::vector<float> row(n);
+  for (HostId a = 0; a < n; ++a) {
+    engine.severity_row(a, row);
+    for (HostId b = 0; b < n; ++b) {
+      bad += std::bit_cast<std::uint32_t>(row[b]) !=
+             std::bit_cast<std::uint32_t>(want.at(a, b));
+    }
+  }
+  return bad;
+}
+
+std::string scratch_file(const std::string& dir, const std::string& tag) {
+  return (std::filesystem::path(dir) /
+          ("bench_shard_stream_" + std::to_string(::getpid()) + "_" + tag +
+           ".tiles"))
+      .string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tiv::Flags flags(argc, argv);
+  const bool quick = flags.get_bool("quick", false);
+  flags.get_bool("json", false);  // accepted for uniformity; always JSON
+  const auto n =
+      static_cast<HostId>(flags.get_int("hosts", quick ? 128 : 512));
+  const auto tile_dim =
+      static_cast<std::uint32_t>(flags.get_int("tile", quick ? 16 : 64));
+  const double missing = flags.get_double("missing", 0.1);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 29));
+  const int epochs = static_cast<int>(flags.get_int("epochs", quick ? 2 : 4));
+  const std::string dir = flags.get_string(
+      "dir", std::filesystem::temp_directory_path().string());
+  const std::size_t input_budget_flag =
+      static_cast<std::size_t>(flags.get_int("input-budget-kb", 512)) * 1024;
+  const std::size_t output_budget_flag =
+      static_cast<std::size_t>(flags.get_int("output-budget-kb", 256)) * 1024;
+  tiv::reject_unknown_flags(flags);
+
+  // Floor the budgets at the pinned working sets so a many-core pool
+  // cannot overshoot through pins alone (same rationale as
+  // bench_shard_severity): the band-pair drivers pin <= 3 input tiles per
+  // worker plus one prefetch; sink reads pin one tile per reader.
+  const std::size_t in_tile_bytes =
+      static_cast<std::size_t>(tile_dim) * tile_dim * sizeof(float) +
+      static_cast<std::size_t>(tile_dim) * ((tile_dim + 63) / 64) *
+          sizeof(std::uint64_t);
+  const std::size_t out_tile_bytes =
+      static_cast<std::size_t>(tile_dim) * tile_dim * sizeof(float);
+  const std::size_t input_budget =
+      std::max(input_budget_flag,
+               (3 * tiv::parallel_thread_count() + 2) * in_tile_bytes);
+  const std::size_t output_budget =
+      std::max(output_budget_flag,
+               (tiv::parallel_thread_count() + 1) * out_tile_bytes);
+
+  const std::vector<double> dirty_fractions =
+      quick ? std::vector<double>{0.02, 0.2}
+            : std::vector<double>{0.004, 0.01, 0.05, 0.2};
+
+  bool ok = true;
+  {
+    tiv::bench::JsonArrayWriter json(std::cout);
+    for (const double frac : dirty_fractions) {
+      DelayStream stream(random_matrix(n, missing, seed));
+      Rng rng(seed ^ 0x0c1ull);
+
+      ShardStreamConfig cfg;
+      cfg.tile_dim = tile_dim;
+      cfg.input_budget_bytes = input_budget;
+      cfg.output_budget_bytes = output_budget;
+      cfg.input_path = scratch_file(dir, "in");
+      cfg.sink_path = scratch_file(dir, "sev");
+      std::optional<ShardStreamEngine> engine;
+      const double init_ms =
+          time_ms([&] { engine.emplace(stream.matrix(), cfg); });
+
+      const auto dirty_target = std::max<std::size_t>(
+          2, static_cast<std::size_t>(static_cast<double>(n) * frac));
+      std::size_t tiles_repacked = 0;
+      std::size_t sev_tiles_committed = 0;
+      std::size_t edges_recomputed = 0;
+      double apply_ms = 0.0;
+      for (int e = 0; e < epochs; ++e) {
+        replay_churn_epoch(stream, rng, dirty_target, double(e));
+        apply_ms += time_ms([&] {
+          const auto stats = engine->apply_epoch(stream);
+          tiles_repacked += stats.input_tiles_repacked;
+          sev_tiles_committed += stats.severity_tiles_committed;
+          edges_recomputed += stats.edges_recomputed;
+        });
+      }
+
+      // Full out-of-core rebuild of the final matrix — what every epoch
+      // would cost without the dirty-tile repair path: fresh input spill +
+      // sink build, all on disk.
+      const std::string rb_in = scratch_file(dir, "rebuild_in");
+      const std::string rb_out = scratch_file(dir, "rebuild_sev");
+      const double rebuild_ms = time_ms([&] {
+        tiv::shard::TileStore::write_matrix(rb_in, stream.matrix(), tile_dim);
+        const auto store = tiv::shard::TileStore::open(rb_in);
+        tiv::shard::TileCache cache(store, input_budget);
+        tiv::sink::SeverityTileStore::create(rb_out, n, tile_dim);
+        auto sink =
+            tiv::sink::SeverityTileStore::open(rb_out, /*writable=*/true);
+        tiv::core::all_severities_to_sink(store, cache, sink);
+      });
+      std::filesystem::remove(rb_in);
+      std::filesystem::remove(rb_out);
+
+      const SeverityMatrix in_memory =
+          TivAnalyzer(stream.matrix()).all_severities();
+      const std::size_t mismatches = bit_mismatches(*engine, in_memory);
+
+      const auto in_stats = engine->input_cache_stats();
+      const auto out_stats = engine->output_cache_stats();
+      const bool within_budget = in_stats.peak_bytes <= input_budget &&
+                                 out_stats.peak_bytes <= output_budget;
+      ok = ok && mismatches == 0 && within_budget;
+
+      const double repair_epoch_ms = apply_ms / epochs;
+      json.object()
+          .field("section", std::string("shard_churn"))
+          .field("n", n)
+          .field("tile_dim", tile_dim)
+          .field("missing_fraction", missing, 3)
+          .field("dirty_fraction", frac, 4)
+          .field("epochs", epochs)
+          .field("input_budget_bytes", input_budget)
+          .field("output_budget_bytes", output_budget)
+          .field("init_full_build_ms", init_ms, 3)
+          .field("input_tiles_repacked", tiles_repacked)
+          .field("severity_tiles_committed", sev_tiles_committed)
+          .field("edges_recomputed", edges_recomputed)
+          .field("repair_epoch_ms", repair_epoch_ms, 3)
+          .field("oocore_rebuild_ms", rebuild_ms, 3)
+          .field("speedup_vs_oocore_rebuild",
+                 repair_epoch_ms > 0.0 ? rebuild_ms / repair_epoch_ms : 0.0,
+                 2)
+          .field("input_tile_hits", in_stats.hits)
+          .field("input_tile_misses", in_stats.misses)
+          .field("input_evictions", in_stats.evictions)
+          .field("input_invalidations", in_stats.invalidations)
+          .field("input_peak_bytes", in_stats.peak_bytes)
+          .field("output_tile_hits", out_stats.hits)
+          .field("output_tile_misses", out_stats.misses)
+          .field("output_evictions", out_stats.evictions)
+          .field("output_peak_bytes", out_stats.peak_bytes)
+          .field_bool("peak_within_budget", within_budget)
+          .field("bit_mismatches", mismatches);
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,142 @@
+// Out-of-core streaming TIV monitor: the streaming_monitor example's live
+// pipeline rebuilt on ShardStreamEngine — continuous measurement ingestion
+// with live severity maintenance where *neither the delay matrix nor the
+// severity result is held in memory*.
+//
+// The engine spills the matrix to an on-disk tile store and the severities
+// to an on-disk severity tile sink, then keeps both repaired under a
+// deliberately tiny cache budget: each round re-measures a few edges, the
+// epoch's dirty hosts map to dirty input tiles (repacked in place, cache
+// invalidated), and only the incident severities are recomputed and
+// committed through the sink — while a watch-list reads the worst current
+// TIV edge back through the budgeted severity cache. Per-round cache +
+// repair stats show the working set staying bounded.
+//
+//   ./outcore_monitor [--hosts=200] [--rounds=6] [--seed=1]
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "delayspace/datasets.hpp"
+#include "stream/delay_stream.hpp"
+#include "stream/shard_stream.hpp"
+#include "util/flags.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tiv;
+  using delayspace::HostId;
+  const Flags flags(argc, argv);
+  const auto hosts = static_cast<std::uint32_t>(flags.get_int("hosts", 200));
+  const auto rounds = static_cast<int>(flags.get_int("rounds", 6));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  reject_unknown_flags(flags);
+
+  // The "network": a DS^2-like delay space whose matrix seeds the stream.
+  auto params = delayspace::dataset_params(delayspace::DatasetId::kDs2, hosts);
+  params.topology.seed ^= seed;
+  params.hosts.seed ^= seed;
+  const auto space = delayspace::generate_delay_space(params);
+
+  stream::EstimatorParams est;
+  est.policy = stream::SmoothingPolicy::kEwma;
+  est.ewma_alpha = 0.3f;
+  stream::DelayStream live(space.measured, est);
+  const HostId n = live.matrix().size();
+
+  // Deliberately tiny budgets: a dozen input tiles and half a dozen
+  // severity tiles — far below the full tile grids — so every round
+  // genuinely streams from disk. Floored at the pinned working set
+  // (3 input tiles per band-pair worker + one prefetch; one output tile
+  // per worker) so the within-budget claim below holds on many-core hosts
+  // too, where pinned tiles alone would exceed a fixed 12-tile budget.
+  stream::ShardStreamConfig cfg;
+  cfg.tile_dim = 32;
+  const std::size_t in_tile =
+      std::size_t{32} * 32 * sizeof(float) + std::size_t{32} * sizeof(std::uint64_t);
+  const std::size_t out_tile = std::size_t{32} * 32 * sizeof(float);
+  cfg.input_budget_bytes =
+      std::max(std::size_t{12}, 3 * parallel_thread_count() + 2) * in_tile;
+  cfg.output_budget_bytes =
+      std::max(std::size_t{6}, parallel_thread_count() + 1) * out_tile;
+  stream::ShardStreamEngine monitor(live.matrix(), cfg);
+
+  std::cout << "Monitoring " << n << " hosts out of core ("
+            << live.matrix().measured_pair_count() << " measured pairs)\n"
+            << "  input store:  " << monitor.input_path() << " (cache budget "
+            << cfg.input_budget_bytes / 1024 << " KiB)\n"
+            << "  severity sink: " << monitor.sink_path() << " (cache budget "
+            << cfg.output_budget_bytes / 1024 << " KiB)\n\n";
+
+  Rng rng(seed ^ 0xfeedULL);
+  Table table({"round", "samples", "dirty hosts", "tiles repacked",
+               "sev tiles", "edges repaired", "in hit%", "in peak KiB",
+               "out peak KiB", "worst edge", "severity"});
+  std::vector<float> row(n);
+  for (int round = 1; round <= rounds; ++round) {
+    // Re-measure ~2% of hosts' edges: noise around the true delay with a
+    // 5% outage / recovery mix (measured<->missing churn).
+    std::vector<stream::DelaySample> batch;
+    const auto probes = std::max<std::uint64_t>(2, n / 50);
+    for (std::uint64_t p = 0; p < probes; ++p) {
+      const auto a = static_cast<HostId>(rng.uniform_index(n));
+      const auto b = static_cast<HostId>(rng.uniform_index(n));
+      if (a == b) continue;
+      const float truth = space.measured.at(a, b);
+      float sample;
+      if (rng.bernoulli(0.05)) {
+        sample = delayspace::DelayMatrix::kMissing;  // probe timed out
+      } else if (truth >= 0.0f) {
+        sample = truth * static_cast<float>(rng.uniform(0.85, 1.25));
+      } else {
+        sample = static_cast<float>(rng.uniform(20.0, 300.0));  // new path
+      }
+      batch.push_back({a, b, sample, static_cast<double>(round)});
+    }
+    live.ingest(batch);
+
+    const stream::Epoch epoch = live.commit_epoch();
+    const auto stats = monitor.apply_epoch(live.matrix(), epoch.dirty_hosts);
+
+    // Watch-list: the worst currently-known severity, read back through
+    // the budgeted sink cache (never materializing the N^2 result).
+    float worst = -1.0f;
+    HostId wa = 0;
+    HostId wb = 0;
+    for (HostId i = 0; i < n; ++i) {
+      monitor.severity_row(i, row);
+      for (HostId j = i + 1; j < n; ++j) {
+        if (row[j] > worst) {
+          worst = row[j];
+          wa = i;
+          wb = j;
+        }
+      }
+    }
+    const auto in_stats = monitor.input_cache_stats();
+    const auto out_stats = monitor.output_cache_stats();
+    table.add_row({std::to_string(round), std::to_string(batch.size()),
+                   std::to_string(epoch.dirty_hosts.size()),
+                   std::to_string(stats.input_tiles_repacked),
+                   std::to_string(stats.severity_tiles_committed),
+                   std::to_string(stats.edges_recomputed),
+                   format_double(100.0 * in_stats.hit_rate(), 1),
+                   std::to_string(in_stats.peak_bytes / 1024),
+                   std::to_string(out_stats.peak_bytes / 1024),
+                   std::to_string(wa) + "-" + std::to_string(wb),
+                   format_double(worst, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nEach round repaired only the dirty input tiles and the "
+               "severity tiles holding\nedges incident to re-measured hosts; "
+               "peak tracked memory stayed within the\n"
+            << (cfg.input_budget_bytes + cfg.output_budget_bytes) / 1024
+            << " KiB combined budget against "
+            << static_cast<std::size_t>(n) * n * 2 * sizeof(float) / 1024
+            << " KiB of matrix + severity state.\n"
+            << "(spill files are removed when the engine is destroyed)\n";
+  return 0;
+}

@@ -4,9 +4,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <exception>
 #include <filesystem>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 #include "core/triangle_schedule.hpp"
@@ -155,6 +157,158 @@ SeverityMatrix all_severities_streamed(const TileStore& store,
     }
   });
   return sev;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sink-fed severity: the band-pair driver writing tile-shaped results
+// instead of filling an N^2 buffer. One shared body serves the full build
+// (every pair) and the dirty-epoch repair (pairs incident to dirty hosts).
+// ---------------------------------------------------------------------------
+
+/// One (a, c) pair of a band pair selected for recomputation, tile-local.
+struct PairTask {
+  std::uint32_t al;
+  std::uint32_t cl;
+  float dac;
+};
+
+struct BandPairResult {
+  std::size_t recomputed = 0;  ///< pairs re-evaluated (incl. zero-resets)
+  bool committed = false;      ///< sink tile rewritten
+};
+
+/// Recomputes the selected pairs of band pair (bi, bj) and commits the sink
+/// tile. dirty_i/dirty_j flag dirty tile-local rows of the two bands
+/// (ignored when full_build, which selects every pair and skips the
+/// read-modify cycle — create() zeroed the tile). The witness walk is the
+/// same ascending-k, full-tile-width scan as all_severities_streamed, so
+/// every stored float is bit-identical to the in-memory kernel's.
+BandPairResult process_band_pair_to_sink(
+    const TileStore& store, TileCache& cache, sink::SeverityTileStore& sink,
+    std::uint32_t bi, std::uint32_t bj, const std::uint8_t* dirty_i,
+    const std::uint8_t* dirty_j, bool full_build) {
+  const std::uint32_t T = store.tile_dim();
+  const std::uint32_t bands = store.tiles_per_side();
+  const std::uint32_t rows_i = store.band_rows(bi);
+  const std::uint32_t rows_j = store.band_rows(bj);
+  const auto nd = static_cast<double>(store.size());
+  const TileRef dac_tile = cache.acquire(bi, bj);
+
+  // Worker-local tile image (O(T^2), like the accumulator block — outside
+  // the cache budgets by design).
+  std::vector<float> buf(sink.payload_floats(), 0.0f);
+  if (!full_build) sink.read_tile(bi, bj, buf.data());
+
+  BandPairResult res;
+  std::vector<PairTask> tasks;
+  bool zeroed = false;  ///< a stale value was reset to 0 in buf
+  for (std::uint32_t al = 0; al < rows_i; ++al) {
+    const float* dac_row = dac_tile->row(al);
+    const std::uint32_t c_lo = bi == bj ? al + 1 : 0;
+    for (std::uint32_t cl = c_lo; cl < rows_j; ++cl) {
+      if (!full_build && !(dirty_i[al] | dirty_j[cl])) continue;
+      ++res.recomputed;
+      const float d_ac = dac_row[cl];
+      if (d_ac >= DelayMatrixView::kMaskedDelay) {
+        // Unmeasured — possibly a measured->missing transition this epoch:
+        // a rebuild leaves 0 there, so the stale severity is reset.
+        const std::size_t o = static_cast<std::size_t>(al) * T + cl;
+        const std::size_t om = static_cast<std::size_t>(cl) * T + al;
+        zeroed |= buf[o] != 0.0f || (bi == bj && buf[om] != 0.0f);
+        buf[o] = 0.0f;
+        if (bi == bj) buf[om] = 0.0f;
+        continue;
+      }
+      tasks.push_back({al, cl, d_ac});
+    }
+  }
+  if (!full_build && tasks.empty() && !zeroed) return res;  // tile untouched
+
+  if (!tasks.empty()) {
+    std::vector<double> acc(tasks.size() * kWitnessLanes, 0.0);
+    for (std::uint32_t k = 0; k < bands; ++k) {
+      prefetch_band(cache, bi, bj, k + 1, bands);
+      const TileRef ta = cache.acquire(bi, k);
+      const TileRef tc = bj == bi ? ta : cache.acquire(bj, k);
+      for (std::size_t t = 0; t < tasks.size(); ++t) {
+        witness_ratio_accumulate(ta->row(tasks[t].al), tc->row(tasks[t].cl),
+                                 T, tasks[t].dac,
+                                 acc.data() + t * kWitnessLanes);
+      }
+    }
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      const double ratio_sum =
+          witness_ratio_reduce(acc.data() + t * kWitnessLanes);
+      const float v = static_cast<float>(ratio_sum / nd);
+      buf[static_cast<std::size_t>(tasks[t].al) * T + tasks[t].cl] = v;
+      if (bi == bj) {
+        buf[static_cast<std::size_t>(tasks[t].cl) * T + tasks[t].al] = v;
+      }
+    }
+  }
+  sink.write_tile(bi, bj, buf.data());
+  res.committed = true;
+  return res;
+}
+
+void check_sink_matches(const TileStore& store,
+                        const sink::SeverityTileStore& sink) {
+  if (sink.size() != store.size() || sink.tile_dim() != store.tile_dim()) {
+    throw std::invalid_argument(
+        "severity sink geometry (n, tile_dim) must match the input store");
+  }
+  if (!sink.writable()) {
+    throw std::invalid_argument("severity sink must be opened writable");
+  }
+}
+
+}  // namespace
+
+void all_severities_to_sink(const TileStore& store, TileCache& cache,
+                            sink::SeverityTileStore& sink) {
+  check_sink_matches(store, sink);
+  for_each_band_pair(store.tiles_per_side(),
+                     [&](std::uint32_t bi, std::uint32_t bj) {
+                       process_band_pair_to_sink(store, cache, sink, bi, bj,
+                                                 nullptr, nullptr, true);
+                     });
+}
+
+SinkRepairStats repair_severities_to_sink(
+    const TileStore& store, TileCache& cache, sink::SeverityTileStore& sink,
+    std::span<const HostId> dirty_hosts) {
+  check_sink_matches(store, sink);
+  SinkRepairStats stats;
+  if (dirty_hosts.empty() || store.size() < 2) return stats;
+
+  const std::uint32_t T = store.tile_dim();
+  const std::uint32_t bands = store.tiles_per_side();
+  // Tile-local dirty-row bitmaps; a band with no dirty host keeps an empty
+  // vector and borrows the shared all-clean bitmap below.
+  std::vector<std::vector<std::uint8_t>> dirty(bands);
+  for (const HostId h : dirty_hosts) {
+    auto& band = dirty[h / T];
+    if (band.empty()) band.assign(T, 0);
+    band[h % T] = 1;
+  }
+  const std::vector<std::uint8_t> clean(T, 0);
+
+  std::atomic<std::size_t> recomputed{0};
+  std::atomic<std::size_t> committed{0};
+  for_each_band_pair(bands, [&](std::uint32_t bi, std::uint32_t bj) {
+    if (dirty[bi].empty() && dirty[bj].empty()) return;  // no dirty edge
+    const BandPairResult r = process_band_pair_to_sink(
+        store, cache, sink, bi, bj,
+        (dirty[bi].empty() ? clean : dirty[bi]).data(),
+        (dirty[bj].empty() ? clean : dirty[bj]).data(), false);
+    recomputed.fetch_add(r.recomputed, std::memory_order_relaxed);
+    committed.fetch_add(r.committed ? 1 : 0, std::memory_order_relaxed);
+  });
+  stats.edges_recomputed = recomputed.load();
+  stats.tiles_committed = committed.load();
+  return stats;
 }
 
 double violating_triangle_fraction_streamed(const TileStore& store,

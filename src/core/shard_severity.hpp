@@ -3,10 +3,16 @@
 // honoring a user-set memory budget via a shard::TileCache.
 //
 // The budget governs the *delay-matrix* working set. The all_severities
-// result is still an in-memory SeverityMatrix (N^2 floats), so that entry
-// point's total footprint is O(budget) + O(N^2) for the output;
-// violating_triangle_fraction is O(budget) end to end. Streaming the
-// severity output is a ROADMAP follow-up.
+// entry point still returns an in-memory SeverityMatrix (N^2 floats), so
+// its total footprint is O(budget) + O(N^2) for the output;
+// violating_triangle_fraction is O(budget) end to end. For matrices whose
+// *result* no longer fits either, all_severities_to_sink streams the
+// severity output band pair by band pair into a sink::SeverityTileStore —
+// O(budget + tile^2) working memory total — and
+// repair_severities_to_sink is its incremental counterpart: after an
+// epoch dirtied a host set, only the edges incident to those hosts are
+// recomputed and only the affected sink tiles are rewritten (the
+// out-of-core half of the src/stream/ dirty-epoch engine).
 //
 // Results are bit-identical to the in-memory TivAnalyzer path: tiles are
 // the packed view cut at lane-aligned column boundaries, the streamed scan
@@ -16,11 +22,13 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 
 #include "core/severity.hpp"
 #include "shard/tile_cache.hpp"
 #include "shard/tile_store.hpp"
+#include "sink/severity_tile_store.hpp"
 
 namespace tiv::core {
 
@@ -36,6 +44,39 @@ std::size_t packed_view_bytes(HostId n);
 /// the cache's background I/O thread while the current band computes.
 SeverityMatrix all_severities_streamed(const shard::TileStore& store,
                                        shard::TileCache& cache);
+
+/// All-edges severity streamed from `store` *into* `sink` — the fully
+/// out-of-core form: neither the delay matrix nor the severity result is
+/// ever materialized in memory (working set = cache budget + one O(tile^2)
+/// buffer per pool worker). `sink` must be writable with the same n and
+/// tile_dim as `store`. Every stored entry is bit-identical to the
+/// corresponding all_severities / all_severities_streamed cell; entries the
+/// in-memory path never sets (unmeasured pairs, the diagonal, padding) are
+/// 0.0f.
+void all_severities_to_sink(const shard::TileStore& store,
+                            shard::TileCache& cache,
+                            sink::SeverityTileStore& sink);
+
+/// Accounting for one repair_severities_to_sink call.
+struct SinkRepairStats {
+  std::size_t tiles_committed = 0;   ///< sink tiles rewritten in place
+  std::size_t edges_recomputed = 0;  ///< dirty pairs re-evaluated (incl.
+                                     ///< pairs reset to 0 on a loss)
+};
+
+/// Incremental form of all_severities_to_sink: recomputes exactly the
+/// edges incident to `dirty_hosts` (ascending, distinct — what
+/// DelayStream::commit_epoch returns) through the band-pair streaming
+/// driver and rewrites only the sink tiles containing such edges. `store`
+/// must already hold the post-epoch matrix (TileStore::repack_tile on the
+/// dirty bands, with the cache invalidated — src/stream/shard_stream owns
+/// that sequencing). Severities the in-memory
+/// IncrementalSeverity::apply_epoch would leave untouched are untouched
+/// here too, so the sink stays bit-identical to a from-scratch
+/// all_severities of the mutated matrix after every epoch.
+SinkRepairStats repair_severities_to_sink(
+    const shard::TileStore& store, shard::TileCache& cache,
+    sink::SeverityTileStore& sink, std::span<const HostId> dirty_hosts);
 
 /// Exact violating-triangle fraction, streamed. Matches
 /// TivAnalyzer::violating_triangle_fraction(0) bit for bit (the reduction

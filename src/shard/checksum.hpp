@@ -1,0 +1,41 @@
+// Tile payload checksumming shared by the on-disk tile stores
+// (shard::TileStore for delay-matrix input, sink::SeverityTileStore for
+// severity output).
+//
+// FNV-1a (64-bit) over the serialized tile bytes: cheap enough to run on
+// every tile read, strong enough that a torn write, bit rot, or a foreign
+// file fails loudly as CorruptTileError instead of feeding garbage delays
+// or severities into the analysis.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace tiv::shard {
+
+/// A tile whose stored checksum does not match its payload — the
+/// distinct error path for on-disk corruption, as opposed to the plain
+/// std::runtime_error used for I/O failures (short reads, missing files).
+struct CorruptTileError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// Folds `bytes` bytes into a running FNV-1a hash. Chain calls over the
+/// sections of one tile (payload, then masks) by passing the previous
+/// return value as `h`.
+inline std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                           std::uint64_t h = kFnvOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace tiv::shard

@@ -1,0 +1,192 @@
+// Memory-budgeted, thread-safe LRU tile-cache core shared by the
+// delay-matrix input cache (shard::TileCache) and the severity output
+// cache (sink::SeverityCache). One definition of the concurrency and
+// accounting machinery, so a fix in one cache cannot silently miss the
+// other.
+//
+// Concurrency model: one mutex guards the map/LRU bookkeeping; the
+// caller-supplied loader (tile I/O) runs outside it, so distinct tiles
+// load in parallel. A thread requesting a tile another thread is already
+// loading waits on a condition variable instead of issuing a duplicate
+// read (no cache stampede).
+//
+// Budget accounting counts every resident tile (loaded entries plus
+// in-flight loads, whose bytes are reserved before the read starts).
+// Eviction walks from the least recently used end, skipping entries pinned
+// by an outstanding Ref (use_count > 1) — a pinned tile is never removed
+// from the map, so a tile's bytes are released exactly when its entry is
+// erased. The hard invariant is therefore: peak bytes <= max(budget,
+// largest simultaneous pinned set).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace tiv::shard {
+
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;       ///< tiles loaded from disk (incl. prefetch)
+  std::size_t evictions = 0;
+  std::size_t invalidations = 0;  ///< resident tiles dropped by invalidate()
+  std::size_t peak_bytes = 0;   ///< high-water mark of live tile bytes
+  std::size_t current_bytes = 0;
+  std::size_t prefetch_drops = 0;  ///< hints shed by the background queue
+
+  double hit_rate() const {
+    const std::size_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+template <typename TileT>
+class LruTileCache {
+ public:
+  using Ref = std::shared_ptr<const TileT>;
+
+  LruTileCache(std::size_t budget_bytes, std::size_t tile_footprint)
+      : budget_(budget_bytes), tile_footprint_(tile_footprint) {}
+
+  LruTileCache(const LruTileCache&) = delete;
+  LruTileCache& operator=(const LruTileCache&) = delete;
+
+  /// Returns the tile under `key`, invoking `loader()` (unlocked, may
+  /// throw) to produce it on a miss. Thread-safe; blocks only while
+  /// another thread is loading the same key.
+  template <typename Loader>
+  Ref acquire(std::uint64_t key, Loader&& loader) {
+    std::unique_lock<std::mutex> lk(mutex_);
+    for (;;) {
+      auto it = map_.find(key);
+      if (it == map_.end()) {
+        return load_and_publish(key, loader, lk);
+      }
+      if (!it->second.loading) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second.lru);  // touch
+        return it->second.tile;
+      }
+      // Another thread is reading this tile; wait for it rather than
+      // duplicating the I/O. If its load failed the entry vanishes and
+      // the loop retries as a fresh miss.
+      loaded_cv_.wait(lk);
+    }
+  }
+
+  /// Drops `key` so the next acquire re-loads it — the coherence hook
+  /// after an in-place tile rewrite. Waits for an in-flight load of the
+  /// key to finish (a stale read racing the rewrite must not be published
+  /// past this call). Precondition: no outstanding Ref pins the tile.
+  void invalidate(std::uint64_t key) {
+    std::unique_lock<std::mutex> lk(mutex_);
+    for (;;) {
+      auto it = map_.find(key);
+      if (it == map_.end()) return;
+      if (it->second.loading) {
+        loaded_cv_.wait(lk);
+        continue;
+      }
+      assert(it->second.tile.use_count() == 1 &&
+             "invalidating a pinned tile");
+      lru_.erase(it->second.lru);
+      map_.erase(it);
+      stats_.current_bytes -= tile_footprint_;
+      ++stats_.invalidations;
+      return;
+    }
+  }
+
+  /// True when `key` is resident or loading (the prefetch dedup check).
+  bool contains(std::uint64_t key) const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return map_.count(key) != 0;
+  }
+
+  std::size_t budget_bytes() const { return budget_; }
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return stats_;
+  }
+
+ private:
+  struct Entry {
+    Ref tile;  ///< null while loading
+    bool loading = false;
+    std::list<std::uint64_t>::iterator lru;  ///< valid once loaded
+  };
+
+  template <typename Loader>
+  Ref load_and_publish(std::uint64_t key, Loader& loader,
+                       std::unique_lock<std::mutex>& lk) {
+    ++stats_.misses;
+    evict_for_locked(tile_footprint_);
+    // Reserve the bytes before dropping the lock so concurrent loaders see
+    // each other's in-flight tiles in the accounting.
+    stats_.current_bytes += tile_footprint_;
+    stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.current_bytes);
+    // Keep a reference, not the iterator: concurrent emplaces during the
+    // unlocked I/O below may rehash the map, which invalidates iterators
+    // but never references, and only this thread erases entry `key`.
+    Entry& entry =
+        map_.emplace(key, Entry{nullptr, true, lru_.end()}).first->second;
+    lk.unlock();
+
+    Ref tile;
+    try {
+      tile = loader();
+    } catch (...) {
+      lk.lock();
+      stats_.current_bytes -= tile_footprint_;
+      map_.erase(key);
+      loaded_cv_.notify_all();
+      throw;
+    }
+
+    lk.lock();
+    entry.tile = tile;
+    entry.loading = false;
+    lru_.push_front(key);
+    entry.lru = lru_.begin();
+    loaded_cv_.notify_all();
+    return tile;
+  }
+
+  void evict_for_locked(std::size_t incoming_bytes) {
+    // Walk from least recently used, skipping pinned tiles (a Ref beyond
+    // the map's own keeps use_count > 1). Loading placeholders are not in
+    // lru_ and so are never considered.
+    auto it = lru_.end();
+    while (stats_.current_bytes + incoming_bytes > budget_ &&
+           it != lru_.begin()) {
+      --it;
+      auto mit = map_.find(*it);
+      if (mit->second.tile.use_count() > 1) continue;  // pinned
+      mit->second.tile.reset();  // frees the tile (sole owner)
+      map_.erase(mit);
+      it = lru_.erase(it);
+      stats_.current_bytes -= tile_footprint_;
+      ++stats_.evictions;
+    }
+  }
+
+  const std::size_t budget_;
+  const std::size_t tile_footprint_;  ///< bytes one resident tile accounts
+
+  mutable std::mutex mutex_;
+  std::condition_variable loaded_cv_;
+  std::unordered_map<std::uint64_t, Entry> map_;
+  std::list<std::uint64_t> lru_;  ///< front = most recently used
+  CacheStats stats_;
+};
+
+}  // namespace tiv::shard

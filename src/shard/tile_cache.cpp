@@ -1,9 +1,7 @@
 #include "shard/tile_cache.hpp"
 
-#include <algorithm>
 #include <new>
 #include <utility>
-#include <vector>
 
 namespace tiv::shard {
 
@@ -17,95 +15,23 @@ Tile::Tile(std::uint32_t tile_dim, std::size_t payload_floats,
 
 TileCache::TileCache(const TileStore& store, std::size_t budget_bytes)
     : store_(store),
-      budget_(budget_bytes),
       // Footprint charged per resident tile: the serialized size. The
       // in-memory layout is identical (payload + mask words); allocator
       // slack is not modeled.
-      tile_footprint_(store.tile_bytes()) {}
+      cache_(budget_bytes, store.tile_bytes()) {}
 
 TileRef TileCache::acquire(std::uint32_t r, std::uint32_t c) {
-  const std::uint64_t k = key(r, c);
-  std::unique_lock<std::mutex> lk(mutex_);
-  for (;;) {
-    auto it = map_.find(k);
-    if (it == map_.end()) {
-      return load_and_publish(k, r, c, lk);
-    }
-    if (!it->second.loading) {
-      ++stats_.hits;
-      lru_.splice(lru_.begin(), lru_, it->second.lru);  // touch
-      return it->second.tile;
-    }
-    // Another thread is reading this tile from disk; wait for it rather
-    // than duplicating the I/O. If its load failed the entry vanishes and
-    // the loop retries as a fresh miss.
-    loaded_cv_.wait(lk);
-  }
-}
-
-TileRef TileCache::load_and_publish(std::uint64_t k, std::uint32_t r,
-                                    std::uint32_t c,
-                                    std::unique_lock<std::mutex>& lk) {
-  ++stats_.misses;
-  evict_for_locked(tile_footprint_);
-  // Reserve the bytes before dropping the lock so concurrent loaders see
-  // each other's in-flight tiles in the accounting.
-  stats_.current_bytes += tile_footprint_;
-  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.current_bytes);
-  // Keep a reference, not the iterator: concurrent emplaces during the
-  // unlocked I/O below may rehash the map, which invalidates iterators but
-  // never references, and only this thread erases entry k.
-  Entry& entry = map_.emplace(k, Entry{nullptr, true, lru_.end()})
-                     .first->second;
-  lk.unlock();
-
-  TileRef tile;
-  try {
+  return cache_.acquire(key(r, c), [&]() -> TileRef {
     auto fresh = std::make_shared<Tile>(store_.tile_dim(),
                                         store_.payload_floats(),
                                         store_.mask_words());
     store_.read_tile(r, c, fresh->payload(), fresh->masks());
-    tile = std::move(fresh);
-  } catch (...) {
-    lk.lock();
-    stats_.current_bytes -= tile_footprint_;
-    map_.erase(k);
-    loaded_cv_.notify_all();
-    throw;
-  }
-
-  lk.lock();
-  entry.tile = tile;
-  entry.loading = false;
-  lru_.push_front(k);
-  entry.lru = lru_.begin();
-  loaded_cv_.notify_all();
-  return tile;
-}
-
-void TileCache::evict_for_locked(std::size_t incoming_bytes) {
-  // Walk from least recently used, skipping pinned tiles (a TileRef beyond
-  // the map's own keeps use_count > 1). Loading placeholders are not in
-  // lru_ and so are never considered.
-  auto it = lru_.end();
-  while (stats_.current_bytes + incoming_bytes > budget_ &&
-         it != lru_.begin()) {
-    --it;
-    auto mit = map_.find(*it);
-    if (mit->second.tile.use_count() > 1) continue;  // pinned
-    mit->second.tile.reset();  // frees the tile (sole owner)
-    map_.erase(mit);
-    it = lru_.erase(it);
-    stats_.current_bytes -= tile_footprint_;
-    ++stats_.evictions;
-  }
+    return fresh;
+  });
 }
 
 void TileCache::prefetch(std::uint32_t r, std::uint32_t c) {
-  {
-    std::lock_guard<std::mutex> lk(mutex_);
-    if (map_.count(key(r, c)) != 0) return;  // resident or already loading
-  }
+  if (cache_.contains(key(r, c))) return;  // resident or already loading
   // acquire() on the I/O thread loads the tile and parks it in the map; the
   // returned pin is dropped immediately. A failed load is swallowed — a
   // prefetch is a hint, and the demand-path acquire() will surface the
@@ -120,8 +46,7 @@ void TileCache::prefetch(std::uint32_t r, std::uint32_t c) {
 }
 
 CacheStats TileCache::stats() const {
-  std::lock_guard<std::mutex> lk(mutex_);
-  CacheStats s = stats_;
+  CacheStats s = cache_.stats();
   s.prefetch_drops = prefetcher_.dropped();
   return s;
 }

@@ -1,36 +1,28 @@
 // Memory-budgeted, thread-safe LRU cache mapping TileStore tiles back into
-// RAM as view-compatible blocks.
+// RAM as view-compatible blocks — the input-side instantiation of the
+// shared LruTileCache core (shard/lru_tile_cache.hpp), which owns the
+// concurrency model, stampede-free loads, pin-aware eviction, and the
+// budget-accounting invariant: peak bytes <= max(budget, largest
+// simultaneous pinned set). The streaming driver pins a handful of tiles
+// per thread, so any sane budget dominates and stats().peak_bytes stays
+// under it.
 //
-// Concurrency model: one mutex guards the map/LRU bookkeeping; tile I/O
-// runs outside it, so distinct tiles load in parallel from however many
-// threads the severity driver's parallel loop runs. A thread requesting a
-// tile another thread is already loading waits on a condition variable
-// instead of issuing a duplicate read (no cache stampede).
-//
-// Budget accounting counts every resident tile (loaded entries plus
-// in-flight loads, whose bytes are reserved before the read starts).
-// Eviction walks from the least recently used end, skipping entries pinned
-// by an outstanding TileRef (use_count > 1) — a pinned tile is never
-// removed from the map, so a tile's bytes are released exactly when its
-// entry is erased. The hard invariant is therefore: peak bytes <=
-// max(budget, largest simultaneous pinned set). The streaming driver pins
-// a handful of tiles per thread, so any sane budget dominates and
-// stats().peak_bytes stays under it.
-//
-// Prefetch rides the pool-friendly util/BackgroundQueue: hints are shed
-// (not queued unboundedly, never blocking the compute thread) when the I/O
-// worker falls behind.
+// What this layer adds on top of the core:
+//  - the Tile block itself (64-byte-aligned payload rows + mask words,
+//    ready for the branch-free witness kernels), and
+//  - prefetch riding the pool-friendly util/BackgroundQueue: hints are
+//    shed (not queued unboundedly, never blocking the compute thread)
+//    when the I/O worker falls behind, and drain_prefetch() is the
+//    quiesce point before TileStore::repack_tile rewrites tiles this
+//    cache maps.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
-#include <condition_variable>
-#include <mutex>
-
+#include "shard/lru_tile_cache.hpp"
 #include "shard/tile_store.hpp"
 #include "util/background_queue.hpp"
 
@@ -71,21 +63,6 @@ class Tile {
 
 using TileRef = std::shared_ptr<const Tile>;
 
-struct CacheStats {
-  std::size_t hits = 0;
-  std::size_t misses = 0;       ///< tiles loaded from disk (incl. prefetch)
-  std::size_t evictions = 0;
-  std::size_t peak_bytes = 0;   ///< high-water mark of live tile bytes
-  std::size_t current_bytes = 0;
-  std::size_t prefetch_drops = 0;  ///< hints shed by the background queue
-
-  double hit_rate() const {
-    const std::size_t total = hits + misses;
-    return total == 0 ? 0.0
-                      : static_cast<double>(hits) / static_cast<double>(total);
-  }
-};
-
 class TileCache {
  public:
   /// The cache keeps a reference to `store`; it must outlive the cache, and
@@ -104,33 +81,31 @@ class TileCache {
   /// I/O worker is saturated or the tile is already resident/loading.
   void prefetch(std::uint32_t r, std::uint32_t c);
 
-  std::size_t budget_bytes() const { return budget_; }
+  /// Discards queued prefetch hints and waits out the in-flight one — the
+  /// quiesce point before TileStore::repack_tile rewrites tiles this cache
+  /// maps (a prefetch read racing the rewrite could otherwise publish a
+  /// torn tile or pin one across invalidate()).
+  void drain_prefetch() { prefetcher_.drain(); }
+
+  /// Drops tile (r, c) from the cache so the next acquire re-reads it from
+  /// the store — the coherence hook for TileStore::repack_tile. Call after
+  /// drain_prefetch(); precondition: no outstanding TileRef pins the tile
+  /// (the streaming engine invalidates only between epochs, when no scan
+  /// is running).
+  void invalidate(std::uint32_t r, std::uint32_t c) {
+    cache_.invalidate(key(r, c));
+  }
+
+  std::size_t budget_bytes() const { return cache_.budget_bytes(); }
   CacheStats stats() const;
 
  private:
-  struct Entry {
-    TileRef tile;            ///< null while loading
-    bool loading = false;
-    std::list<std::uint64_t>::iterator lru;  ///< valid once loaded
-  };
-
-  std::uint64_t key(std::uint32_t r, std::uint32_t c) const {
+  static std::uint64_t key(std::uint32_t r, std::uint32_t c) {
     return (static_cast<std::uint64_t>(r) << 32) | c;
   }
-  TileRef load_and_publish(std::uint64_t k, std::uint32_t r, std::uint32_t c,
-                           std::unique_lock<std::mutex>& lk);
-  void evict_for_locked(std::size_t incoming_bytes);
 
   const TileStore& store_;
-  const std::size_t budget_;
-  const std::size_t tile_footprint_;  ///< bytes one resident tile accounts
-
-  mutable std::mutex mutex_;
-  std::condition_variable loaded_cv_;
-  std::unordered_map<std::uint64_t, Entry> map_;
-  std::list<std::uint64_t> lru_;  ///< front = most recently used
-  CacheStats stats_;
-
+  LruTileCache<Tile> cache_;
   BackgroundQueue prefetcher_{16};
 };
 

@@ -19,18 +19,28 @@
 //            to the full-row counts.
 //
 // Every tile has the same byte size (edge tiles are padded), so the tile
-// index is a flat offset table. File layout:
+// index is a flat offset table. File layout (format version 2):
 //
-//   [header][index: tiles_per_side^2 u64 offsets][64B pad][tile 0][tile 1]..
+//   [header][index: tiles_per_side^2 u64 offsets]
+//   [checksums: tiles_per_side^2 u64 FNV-1a][64B pad][tile 0][tile 1]..
 //
 // Tiles start 64-byte aligned within the file and payload precedes masks
 // within a tile; with tile_dim % 16 == 0 both sections are themselves
 // multiples of 64 bytes, so an aligned in-memory destination keeps every
 // payload row cache-line aligned for the SIMD kernels.
 //
+// Every tile carries an FNV-1a checksum over its serialized bytes
+// (payload then masks), written with the tile and validated on every
+// read_tile: corruption surfaces as shard::CorruptTileError instead of
+// masked-delay garbage flowing into the witness kernels.
+//
 // Writing streams one tile-row band of the source matrix at a time (O(T*N)
 // memory), so a store can be produced without ever materializing the packed
-// view. Reading uses pread(2) and is safe from concurrent threads.
+// view. Reading uses pread(2) and is safe from concurrent threads. A store
+// opened writable additionally supports repack_tile — the in-place tile
+// repair of the out-of-core streaming engine (src/stream/shard_stream),
+// byte-identical to the tile a fresh write_matrix of the mutated matrix
+// would produce, mirroring DelayMatrixView::repack_row.
 #pragma once
 
 #include <cstddef>
@@ -39,6 +49,7 @@
 #include <vector>
 
 #include "delayspace/delay_matrix.hpp"
+#include "shard/checksum.hpp"
 
 namespace tiv::shard {
 
@@ -59,8 +70,9 @@ class TileStore {
                            std::uint32_t tile_dim = kDefaultTileDim);
 
   /// Opens an existing store. Throws std::runtime_error on a missing file
-  /// or a malformed/mismatched header.
-  static TileStore open(const std::string& path);
+  /// or a malformed/mismatched header. `writable` opens the file O_RDWR and
+  /// enables repack_tile.
+  static TileStore open(const std::string& path, bool writable = false);
 
   TileStore(TileStore&& o) noexcept;
   TileStore& operator=(TileStore&& o) noexcept;
@@ -92,21 +104,39 @@ class TileStore {
 
   /// Reads tile (r, c) into caller-provided buffers: payload_floats()
   /// floats and mask_words() words. Thread-safe (positional reads). Throws
-  /// std::runtime_error on I/O failure.
+  /// std::runtime_error on I/O failure and CorruptTileError when the tile
+  /// bytes do not match their stored checksum.
   void read_tile(std::uint32_t r, std::uint32_t c, float* payload,
                  std::uint64_t* masks) const;
 
+  /// Rewrites tile (r, c) in place from `m` (the matrix this store
+  /// serialized, same size, mutated since), committing the tile bytes and
+  /// its refreshed checksum — byte-identical to the tile a fresh
+  /// write_matrix(m) would produce, because both go through
+  /// DelayMatrixView::pack_row_segment. Requires a writable open (throws
+  /// std::runtime_error otherwise). Not safe concurrently with reads of the
+  /// *same* tile; the streaming engine calls it only between epochs, when
+  /// no tile refs are outstanding.
+  void repack_tile(const DelayMatrix& m, std::uint32_t r, std::uint32_t c);
+
+  bool writable() const { return writable_; }
   const std::string& path() const { return path_; }
 
  private:
   TileStore() = default;
 
+  std::size_t tile_index(std::uint32_t r, std::uint32_t c) const {
+    return static_cast<std::size_t>(r) * tiles_ + c;
+  }
+
   std::string path_;
   int fd_ = -1;
+  bool writable_ = false;
   HostId n_ = 0;
   std::uint32_t tile_dim_ = 0;
   std::uint32_t tiles_ = 0;
-  std::vector<std::uint64_t> tile_offsets_;  ///< flat index, row-major
+  std::vector<std::uint64_t> tile_offsets_;    ///< flat index, row-major
+  std::vector<std::uint64_t> tile_checksums_;  ///< FNV-1a, same indexing
 };
 
 }  // namespace tiv::shard

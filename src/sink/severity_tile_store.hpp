@@ -1,0 +1,117 @@
+// On-disk tiled severity *output* — the result-side counterpart of
+// shard::TileStore. The ROADMAP's N >= 1e5 target makes even the severity
+// result (an N^2 float matrix, ~40 GB) too large for RAM; this store keeps
+// it on disk in the same fixed-size-tile, header + offset-index format as
+// the input store, so the out-of-core pipeline is tile-structured end to
+// end.
+//
+// Severity is symmetric and the band-pair streaming driver
+// (core/shard_severity) produces exactly the upper band triangle, so the
+// store holds only tiles (r, c) with r <= c — tiles_per_side*(tiles+1)/2 of
+// them. Tile (r, c) carries tile_dim x tile_dim floats:
+//
+//   payload[lr * T + lc] = sev(r*T + lr, c*T + lc)
+//
+// with 0.0f for unmeasured pairs, the diagonal, and the padding beyond the
+// matrix edge — the exact values the in-memory SeverityMatrix holds there.
+// Diagonal tiles (r == r) store their little square in full (both local
+// triangles), so a row read never transposes within a tile; reading global
+// row i still walks tiles (c, band(i)) for c < band(i) column-wise, which
+// the budgeted cache (severity_cache.hpp) keeps cheap.
+//
+// File layout (mirrors the shard conventions, triangular index):
+//
+//   [header][index: tri_count u64 offsets][checksums: tri_count u64 FNV-1a]
+//   [64B pad][tile 0][tile 1]..
+//
+// Tiles are 64-byte aligned (tile_dim % 16 == 0 makes the payload a
+// multiple of 1 KiB). Every tile carries an FNV-1a checksum validated on
+// read_tile — corruption surfaces as shard::CorruptTileError. write_tile
+// rewrites a tile in place (fixed-size tiles, stable offsets) and commits
+// the refreshed checksum with it: the dirty-tile commit path of the
+// streaming engine. Reads use pread(2) and are thread-safe; concurrent
+// writes to *distinct* tiles are safe (positional writes, distinct
+// checksum slots), which is what lets the band-pair repair driver commit
+// tiles from pool workers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "delayspace/delay_matrix.hpp"
+#include "shard/checksum.hpp"
+#include "shard/tile_store.hpp"
+
+namespace tiv::sink {
+
+using delayspace::HostId;
+
+class SeverityTileStore {
+ public:
+  /// Creates an n-host store at `path` with every tile zeroed (all
+  /// severities 0 — the value unmeasured pairs keep forever). tile_dim must
+  /// be a nonzero multiple of DelayMatrixView::kLaneFloats. Throws
+  /// std::invalid_argument / std::runtime_error.
+  static void create(const std::string& path, HostId n,
+                     std::uint32_t tile_dim = shard::kDefaultTileDim);
+
+  /// Opens an existing store; `writable` enables write_tile. Throws
+  /// std::runtime_error on a missing file or malformed header.
+  static SeverityTileStore open(const std::string& path,
+                                bool writable = false);
+
+  SeverityTileStore(SeverityTileStore&& o) noexcept;
+  SeverityTileStore& operator=(SeverityTileStore&& o) noexcept;
+  SeverityTileStore(const SeverityTileStore&) = delete;
+  SeverityTileStore& operator=(const SeverityTileStore&) = delete;
+  ~SeverityTileStore();
+
+  HostId size() const { return n_; }
+  std::uint32_t tile_dim() const { return tile_dim_; }
+  std::uint32_t tiles_per_side() const { return tiles_; }
+  /// Stored tiles: the upper band triangle, diagonal included.
+  std::size_t tile_count() const {
+    return static_cast<std::size_t>(tiles_) * (tiles_ + 1) / 2;
+  }
+  /// Floats in one tile (tile_dim^2) — also its serialized size / 4.
+  std::size_t payload_floats() const {
+    return static_cast<std::size_t>(tile_dim_) * tile_dim_;
+  }
+  std::size_t tile_bytes() const { return payload_floats() * sizeof(float); }
+
+  /// Rows of band r that carry real matrix rows (tile_dim except the last).
+  std::uint32_t band_rows(std::uint32_t r) const;
+
+  /// Flat index of tile (r, c) in the upper band triangle. Requires r <= c.
+  std::size_t tile_index(std::uint32_t r, std::uint32_t c) const;
+
+  /// Reads tile (r, c), r <= c, into payload_floats() floats. Thread-safe.
+  /// Throws std::runtime_error on I/O failure, shard::CorruptTileError on a
+  /// checksum mismatch.
+  void read_tile(std::uint32_t r, std::uint32_t c, float* payload) const;
+
+  /// Rewrites tile (r, c), r <= c, in place and commits its checksum.
+  /// Requires a writable open. Safe from concurrent threads for distinct
+  /// tiles; not safe concurrently with reads of the same tile (the repair
+  /// driver owns a dirty tile exclusively while it rewrites it).
+  void write_tile(std::uint32_t r, std::uint32_t c, const float* payload);
+
+  bool writable() const { return writable_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  SeverityTileStore() = default;
+
+  std::string path_;
+  int fd_ = -1;
+  bool writable_ = false;
+  HostId n_ = 0;
+  std::uint32_t tile_dim_ = 0;
+  std::uint32_t tiles_ = 0;
+  std::vector<std::uint64_t> tile_offsets_;    ///< triangular index
+  std::vector<std::uint64_t> tile_checksums_;  ///< FNV-1a, same indexing
+};
+
+}  // namespace tiv::sink

@@ -1,0 +1,124 @@
+#include "stream/shard_stream.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/shard_severity.hpp"
+
+namespace tiv::stream {
+namespace {
+
+std::string derive_path(const std::string& configured, const char* tag) {
+  if (!configured.empty()) return configured;
+  static std::atomic<unsigned> counter{0};
+  const auto name = std::string("tiv_shard_stream_") + tag + "_" +
+                    std::to_string(::getpid()) + "_" +
+                    std::to_string(counter.fetch_add(1)) + ".tiles";
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+}  // namespace
+
+ShardStreamEngine::ShardStreamEngine(const delayspace::DelayMatrix& initial,
+                                     ShardStreamConfig config)
+    : config_(std::move(config)) {
+  config_.input_path = derive_path(config_.input_path, "in");
+  config_.sink_path = derive_path(config_.sink_path, "sev");
+  // The destructor never runs for a partially-constructed engine, so a
+  // failure after the spill files appear (disk full during the sink
+  // create, an I/O error in the initial build) must clean them up here —
+  // they are matrix-sized, and keep_files promised removal.
+  struct SpillGuard {
+    const ShardStreamConfig& config;
+    bool armed = true;
+    ~SpillGuard() {
+      if (!armed || config.keep_files) return;
+      std::error_code ec;  // best-effort, fds may still be open (POSIX ok)
+      std::filesystem::remove(config.input_path, ec);
+      std::filesystem::remove(config.sink_path, ec);
+    }
+  } guard{config_};
+
+  shard::TileStore::write_matrix(config_.input_path, initial,
+                                 config_.tile_dim);
+  input_ = shard::TileStore::open(config_.input_path, /*writable=*/true);
+  input_cache_.emplace(*input_, config_.input_budget_bytes);
+  sink::SeverityTileStore::create(config_.sink_path, initial.size(),
+                                  config_.tile_dim);
+  sink_ = sink::SeverityTileStore::open(config_.sink_path,
+                                        /*writable=*/true);
+  sink_cache_.emplace(*sink_, config_.output_budget_bytes);
+  core::all_severities_to_sink(*input_, *input_cache_, *sink_);
+  guard.armed = false;
+}
+
+ShardStreamEngine::~ShardStreamEngine() {
+  if (config_.keep_files) return;
+  // Best-effort cleanup; the stores' fds close in the member destructors
+  // after this body (unlink-while-open is fine on POSIX).
+  std::error_code ec;
+  std::filesystem::remove(config_.input_path, ec);
+  std::filesystem::remove(config_.sink_path, ec);
+}
+
+ShardStreamEngine::EpochStats ShardStreamEngine::apply_epoch(
+    const delayspace::DelayMatrix& matrix,
+    std::span<const HostId> dirty_hosts) {
+  EpochStats stats;
+  if (matrix.size() != input_->size()) {
+    throw std::invalid_argument(
+        "ShardStreamEngine::apply_epoch: matrix size changed");
+  }
+  if (dirty_hosts.empty()) return stats;
+
+  const std::uint32_t T = input_->tile_dim();
+  const std::uint32_t bands = input_->tiles_per_side();
+  std::vector<std::uint8_t> band_dirty(bands, 0);
+  for (const HostId h : dirty_hosts) band_dirty[h / T] = 1;
+
+  // 0. Quiesce the prefetcher: hints left over from the previous band-pair
+  // scan must not read tiles concurrently with the repacks below (a racing
+  // read could pin a tile across invalidate(), or observe a torn write).
+  input_cache_->drain_prefetch();
+
+  // 1. Input repair. A changed entry (x, y) requires edge (x, y) updated,
+  // and DelayStream dirties both endpoints — so a tile can only have
+  // changed when BOTH its row band and its column band hold a dirty host.
+  // The changed input tiles are precisely dirty_bands x dirty_bands;
+  // repack each in place and drop any cached copy so the severity pass
+  // below reads the post-epoch bytes. Tiles with one clean side are
+  // byte-identical to a fresh build already and are not touched.
+  for (std::uint32_t b = 0; b < bands; ++b) {
+    if (!band_dirty[b]) continue;
+    for (std::uint32_t c = 0; c < bands; ++c) {
+      if (!band_dirty[c]) continue;
+      input_->repack_tile(matrix, b, c);
+      input_cache_->invalidate(b, c);
+      ++stats.input_tiles_repacked;
+    }
+  }
+
+  // 2. Severity repair: recompute the edges incident to dirty hosts and
+  // commit the affected sink tiles.
+  const core::SinkRepairStats repair = core::repair_severities_to_sink(
+      *input_, *input_cache_, *sink_, dirty_hosts);
+  stats.severity_tiles_committed = repair.tiles_committed;
+  stats.edges_recomputed = repair.edges_recomputed;
+
+  // 3. Sink-cache coherence: drop every cached severity tile that can
+  // contain a dirty edge (a superset of the tiles actually rewritten —
+  // re-reading an unchanged tile is just a cold read).
+  for (std::uint32_t bi = 0; bi < bands; ++bi) {
+    for (std::uint32_t bj = bi; bj < bands; ++bj) {
+      if (band_dirty[bi] || band_dirty[bj]) sink_cache_->invalidate(bi, bj);
+    }
+  }
+  return stats;
+}
+
+}  // namespace tiv::stream

@@ -1,0 +1,118 @@
+// Out-of-core live TIV pipeline — the dirty-epoch streaming engine
+// (src/stream/) married to the tile stores (src/shard/ input,
+// src/sink/ output).
+//
+// IncrementalSeverity keeps the packed view and the severity matrix in
+// RAM; past the memory budget neither fits. A ShardStreamEngine holds both
+// on disk and repairs both incrementally after every committed epoch:
+//
+//   1. An epoch's dirty-host set maps to dirty *input* tiles: an edge
+//      update (a, b) changes exactly packed rows a and b and dirties both
+//      endpoints, so a changed tile has a dirty host in its row band AND
+//      in its column band — the dirty tiles are precisely
+//      dirty_bands x dirty_bands. Each is rewritten in place with
+//      TileStore::repack_tile (byte-identical to a fresh build, the
+//      tile-granular mirror of DelayMatrixView::repack_row) and dropped
+//      from the tile cache (the dirty-tile invalidation rule).
+//   2. Only the edges incident to dirty hosts are recomputed, through the
+//      same band-pair streaming driver as the full out-of-core build
+//      (core/shard_severity), and only the sink tiles containing such
+//      edges are rewritten and committed with fresh checksums.
+//
+// After every epoch the sink contents are *bit-identical* to the in-memory
+// DelayStream -> IncrementalSeverity -> all_severities path over the same
+// mutated matrix (gtest-enforced in tests/test_shard_stream.cpp), while
+// tracked memory stays within the configured input + output cache budgets
+// (worker-local O(tile^2) scratch excluded, as everywhere in the streaming
+// driver).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "shard/tile_cache.hpp"
+#include "shard/tile_store.hpp"
+#include "sink/severity_cache.hpp"
+#include "sink/severity_tile_store.hpp"
+#include "stream/delay_stream.hpp"
+
+namespace tiv::stream {
+
+struct ShardStreamConfig {
+  /// Spill paths for the input tile store and the severity sink; "" derives
+  /// unique names under the system temp directory.
+  std::string input_path;
+  std::string sink_path;
+  std::uint32_t tile_dim = shard::kDefaultTileDim;
+  /// Byte budgets for the two tile caches — the engine's tracked memory.
+  std::size_t input_budget_bytes = std::size_t{4} << 20;
+  std::size_t output_budget_bytes = std::size_t{4} << 20;
+  /// Keep the on-disk stores when the engine is destroyed (default:
+  /// removed, like the budgeted analyzers' spill files).
+  bool keep_files = false;
+};
+
+class ShardStreamEngine {
+ public:
+  /// Accounting for one apply_epoch call.
+  struct EpochStats {
+    std::size_t input_tiles_repacked = 0;
+    std::size_t severity_tiles_committed = 0;
+    std::size_t edges_recomputed = 0;
+  };
+
+  /// Spills `initial` to the input tile store, creates the severity sink,
+  /// and runs the full out-of-core build once — the only O(n^3) step;
+  /// every epoch after is proportional to the churn.
+  explicit ShardStreamEngine(const delayspace::DelayMatrix& initial,
+                             ShardStreamConfig config = {});
+  ~ShardStreamEngine();
+
+  ShardStreamEngine(const ShardStreamEngine&) = delete;
+  ShardStreamEngine& operator=(const ShardStreamEngine&) = delete;
+
+  /// Repairs input tiles and sink severities after an epoch that dirtied
+  /// `dirty_hosts` (ascending, distinct — what DelayStream::commit_epoch
+  /// returns). `matrix` must be the stream's mutated matrix (same size as
+  /// at construction).
+  EpochStats apply_epoch(const delayspace::DelayMatrix& matrix,
+                         std::span<const HostId> dirty_hosts);
+
+  /// Convenience: commit the stream's pending epoch and apply it.
+  EpochStats apply_epoch(DelayStream& stream) {
+    const Epoch epoch = stream.commit_epoch();
+    return apply_epoch(stream.matrix(), epoch.dirty_hosts);
+  }
+
+  HostId size() const { return input_->size(); }
+  std::uint32_t tile_dim() const { return input_->tile_dim(); }
+
+  /// Severity of edge (a, b), read through the budgeted sink cache —
+  /// synchronized to the last applied epoch.
+  float severity(HostId a, HostId b) { return sink_cache_->at(a, b); }
+  /// Severity row a (size() floats) through the sink cache.
+  void severity_row(HostId a, std::span<float> out) {
+    sink_cache_->read_row(a, out);
+  }
+
+  shard::CacheStats input_cache_stats() const { return input_cache_->stats(); }
+  shard::CacheStats output_cache_stats() const {
+    return sink_cache_->stats();
+  }
+  const std::string& input_path() const { return input_->path(); }
+  const std::string& sink_path() const { return sink_->path(); }
+
+ private:
+  ShardStreamConfig config_;
+  // Declaration order is lifetime order: caches hold references into their
+  // stores and are destroyed first (reverse order).
+  std::optional<shard::TileStore> input_;
+  std::optional<shard::TileCache> input_cache_;
+  std::optional<sink::SeverityTileStore> sink_;
+  std::optional<sink::SeverityCache> sink_cache_;
+};
+
+}  // namespace tiv::stream

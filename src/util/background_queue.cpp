@@ -37,6 +37,12 @@ std::size_t BackgroundQueue::dropped() const {
   return dropped_;
 }
 
+void BackgroundQueue::drain() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  tasks_.clear();  // queued hints are stale by definition at a drain point
+  idle_cv_.wait(lk, [&] { return !running_; });
+}
+
 void BackgroundQueue::worker_loop() {
   std::unique_lock<std::mutex> lk(mutex_);
   for (;;) {
@@ -44,9 +50,12 @@ void BackgroundQueue::worker_loop() {
     if (stop_) return;
     auto task = std::move(tasks_.front());
     tasks_.pop_front();
+    running_ = true;
     lk.unlock();
     task();  // runs unlocked; exceptions would terminate, like pool workers
     lk.lock();
+    running_ = false;
+    idle_cv_.notify_all();
   }
 }
 

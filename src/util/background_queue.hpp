@@ -47,16 +47,26 @@ class BackgroundQueue {
   /// Tasks shed because the queue was full (monotonic; for stats/tests).
   std::size_t dropped() const;
 
+  /// Discards every queued-but-not-started task and waits for the
+  /// in-flight task (if any) to finish. On return the worker is idle and
+  /// no task enqueued before the call will run — the quiesce point callers
+  /// need before mutating state that queued tasks read (e.g. repacking
+  /// tiles a prefetch hint might still be loading). Tasks enqueued
+  /// concurrently with drain are not waited for.
+  void drain();
+
  private:
   void worker_loop();
 
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
+  std::condition_variable idle_cv_;
   std::deque<std::function<void()>> tasks_;
   std::thread worker_;
   bool started_ = false;
   bool stop_ = false;
+  bool running_ = false;  ///< a task is executing outside the lock
   std::size_t dropped_ = 0;
 };
 

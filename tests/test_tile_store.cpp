@@ -5,6 +5,8 @@
 // do not divide N, and under a tiny cache budget that forces eviction.
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -220,6 +222,114 @@ TEST(ShardSeverity, TileReadFailurePropagatesAsException) {
   EXPECT_THROW(all_severities_streamed(store, cache), std::runtime_error);
   std::filesystem::remove(path);
   set_parallel_thread_count(0);
+}
+
+TEST(TileStore, RepackTileIsByteIdenticalToFreshBuild) {
+  // Mutate a few edges (values and missing toggles), repack exactly the
+  // dirty hosts' row-band tiles in place, and demand the whole store file
+  // equals a from-scratch write_matrix of the mutated matrix byte for byte
+  // — tile payloads, masks, and the checksum table included.
+  DelayMatrix m = random_matrix(70, 0.3, 21);  // 70 = 4*16 + 6: ragged band
+  const std::string path = scratch_path("repack");
+  TileStore::write_matrix(path, m, 16);
+
+  Rng rng(99);
+  std::vector<std::uint8_t> band_dirty((70 + 15) / 16, 0);
+  for (int u = 0; u < 8; ++u) {
+    const auto a = static_cast<HostId>(rng.uniform_index(70));
+    const auto b = static_cast<HostId>(rng.uniform_index(70));
+    if (a == b) continue;
+    if (rng.bernoulli(0.3)) {
+      m.set_missing(a, b);
+    } else {
+      m.set(a, b, static_cast<float>(rng.uniform(1.0, 400.0)));
+    }
+    band_dirty[a / 16] = 1;
+    band_dirty[b / 16] = 1;
+  }
+  {
+    auto store = TileStore::open(path, /*writable=*/true);
+    EXPECT_TRUE(store.writable());
+    for (std::uint32_t r = 0; r < store.tiles_per_side(); ++r) {
+      if (!band_dirty[r]) continue;
+      for (std::uint32_t c = 0; c < store.tiles_per_side(); ++c) {
+        store.repack_tile(m, r, c);
+      }
+    }
+  }
+  const std::string fresh_path = scratch_path("repack_fresh");
+  TileStore::write_matrix(fresh_path, m, 16);
+  std::ifstream repacked(path, std::ios::binary);
+  std::ifstream fresh(fresh_path, std::ios::binary);
+  const std::vector<char> got((std::istreambuf_iterator<char>(repacked)),
+                              std::istreambuf_iterator<char>());
+  const std::vector<char> want((std::istreambuf_iterator<char>(fresh)),
+                               std::istreambuf_iterator<char>());
+  EXPECT_EQ(got, want);
+  std::filesystem::remove(path);
+  std::filesystem::remove(fresh_path);
+}
+
+TEST(TileStore, RepackOnReadOnlyStoreThrows) {
+  const DelayMatrix m = random_matrix(16, 0.0, 22);
+  const std::string path = scratch_path("repack_ro");
+  TileStore::write_matrix(path, m, 16);
+  auto store = TileStore::open(path);
+  EXPECT_THROW(store.repack_tile(m, 0, 0), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(TileStore, CorruptTileIsRejectedLoudly) {
+  const DelayMatrix m = random_matrix(37, 0.2, 23);
+  const std::string path = scratch_path("checksum");
+  TileStore::write_matrix(path, m, 16);
+  // Flip one byte inside the last tile's payload.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(-64, std::ios::end);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(-64, std::ios::end);
+    byte ^= 0x5a;
+    f.write(&byte, 1);
+  }
+  const TileStore store = TileStore::open(path);
+  std::vector<float> payload(store.payload_floats());
+  std::vector<std::uint64_t> masks(store.mask_words());
+  const std::uint32_t last = store.tiles_per_side() - 1;
+  EXPECT_THROW(store.read_tile(last, last, payload.data(), masks.data()),
+               shard::CorruptTileError);
+  // CorruptTileError is still a runtime_error for coarse-grained handlers,
+  // and other tiles stay readable.
+  EXPECT_THROW(store.read_tile(last, last, payload.data(), masks.data()),
+               std::runtime_error);
+  store.read_tile(0, 0, payload.data(), masks.data());
+  std::filesystem::remove(path);
+}
+
+TEST(TileCache, InvalidateDropsResidentTileAndRereadsRepack) {
+  DelayMatrix m = random_matrix(32, 0.0, 24);
+  const std::string path = scratch_path("invalidate");
+  TileStore::write_matrix(path, m, 16);
+  auto store = TileStore::open(path, /*writable=*/true);
+  TileCache cache(store, 1u << 20);
+
+  { const auto tile = cache.acquire(0, 1); }  // load, then unpin
+  m.set(1, 20, 123.0f);  // row 1 (band 0), column 20 (band 1): tile (0, 1)
+  store.repack_tile(m, 0, 1);
+  cache.invalidate(0, 1);
+
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.current_bytes, 0u);
+  cache.invalidate(0, 1);  // absent: a no-op
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+
+  const auto tile = cache.acquire(0, 1);  // re-read sees the repacked bytes
+  EXPECT_EQ(tile->row(1)[4], 123.0f);     // local (1, 20-16)
+  EXPECT_EQ(cache.stats().misses, 2u);
+  std::filesystem::remove(path);
 }
 
 TEST(TileCache, CountsHitsMissesAndReusesResidentTiles) {
