@@ -4,6 +4,7 @@
 // the threshold trades accuracy for recall. At threshold 0.6 the paper
 // alerts ~4% of edges with 70% recall of the worst 1%.
 #include <iostream>
+#include <optional>
 
 #include "bench_common.hpp"
 #include "core/alert.hpp"
@@ -20,12 +21,16 @@ int main(int argc, char** argv) {
   const auto warmup = static_cast<std::uint32_t>(flags.get_int("warmup", 300));
   reject_unknown_flags(flags);
 
+  std::optional<JsonArrayWriter> json;
+  if (cfg.json) json.emplace(std::cout);
+
   const auto space = make_space(delayspace::DatasetId::kDs2, cfg);
   embedding::VivaldiParams vp;
   vp.seed = 3 ^ cfg.seed;
   embedding::VivaldiSystem vivaldi(space.measured, vp);
-  std::cout << "embedding " << space.measured.size() << " hosts for "
-            << warmup << " s...\n";
+  (cfg.json ? std::cerr : std::cout)
+      << "embedding " << space.measured.size() << " hosts for " << warmup
+      << " s...\n";
   vivaldi.run(warmup);
   const auto ratio_samples =
       core::collect_ratio_severity_samples(vivaldi, samples, 321 ^ cfg.seed);
@@ -33,6 +38,23 @@ int main(int argc, char** argv) {
   const std::vector<double> worst_fractions{0.01, 0.05, 0.10, 0.20};
   const std::vector<double> thresholds{0.1, 0.2, 0.3, 0.4, 0.5,
                                        0.6, 0.7, 0.8, 0.9, 1.0};
+  if (cfg.json) {
+    // One record per (threshold, worst-fraction) cell: both figures' series
+    // (accuracy = Fig. 20, recall = Fig. 21) plus the alerted-edge fraction.
+    for (double t : thresholds) {
+      for (double w : worst_fractions) {
+        const auto m = core::evaluate_alert(ratio_samples, w, t);
+        json->object()
+            .field("section", std::string("alert_accuracy"))
+            .field("threshold", t, 1)
+            .field("worst_fraction", w, 2)
+            .field("accuracy", m.accuracy, 4)
+            .field("recall", m.recall, 4)
+            .field("alert_fraction", m.alert_fraction, 4);
+      }
+    }
+    return 0;
+  }
   for (const bool recall_view : {false, true}) {
     print_section(std::cout,
                   recall_view

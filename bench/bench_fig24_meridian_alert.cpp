@@ -4,6 +4,7 @@
 // delay query restart) improves the penalty CDF at ~6% extra on-demand
 // probes; spending the same extra probes on a larger beta helps less.
 #include <iostream>
+#include <optional>
 
 #include "bench_common.hpp"
 #include "core/tiv_aware.hpp"
@@ -19,6 +20,9 @@ int main(int argc, char** argv) {
   const auto runs = static_cast<std::uint32_t>(flags.get_int("runs", 3));
   reject_unknown_flags(flags);
 
+  std::optional<JsonArrayWriter> json;
+  if (cfg.json) json.emplace(std::cout);
+
   const auto space = make_space(delayspace::DatasetId::kDs2, cfg);
   const auto n = space.measured.size();
 
@@ -33,8 +37,9 @@ int main(int argc, char** argv) {
   p.num_meridian_nodes = n / 2;
   p.runs = runs;
   p.seed = 99 ^ cfg.seed;
-  std::cout << "hosts: " << n << ", overlay: " << p.num_meridian_nodes
-            << ", runs: " << runs << "\n";
+  (cfg.json ? std::cerr : std::cout)
+      << "hosts: " << n << ", overlay: " << p.num_meridian_nodes
+      << ", runs: " << runs << "\n";
 
   const auto original = neighbor::run_meridian_experiment(space.measured, p);
 
@@ -49,6 +54,36 @@ int main(int argc, char** argv) {
   neighbor::MeridianExperimentParams p_beta = p;
   p_beta.meridian.beta = std::min(0.95, p.meridian.beta * overhead);
   const auto beta_up = neighbor::run_meridian_experiment(space.measured, p_beta);
+
+  if (cfg.json) {
+    const char* names[] = {"Meridian-original", "Meridian-TIV-alert",
+                           "Meridian-larger-beta"};
+    const neighbor::MeridianExperimentResult* results[] = {&original, &alert,
+                                                           &beta_up};
+    for (int s = 0; s < 3; ++s) {
+      for (const double x : log_grid(1.0, 10000.0)) {
+        json->object()
+            .field("section", std::string("penalty_cdf"))
+            .field("scheme", std::string(names[s]))
+            .field("penalty_pct", x, 0)
+            .field("fraction_at_most", results[s]->penalties.fraction_at_most(x),
+                   4);
+      }
+      json->object()
+          .field("section", std::string("probes"))
+          .field("scheme", std::string(names[s]))
+          .field("probes_per_query", results[s]->probes_per_query(), 1)
+          .field("overhead_pct",
+                 100.0 * (results[s]->probes_per_query() /
+                              original.probes_per_query() -
+                          1.0),
+                 1)
+          .field("fraction_optimal_found", results[s]->fraction_optimal_found,
+                 4)
+          .field("restarted_queries", results[s]->restarted_queries);
+    }
+    return 0;
+  }
 
   print_cdfs_on_grid(
       "Figure 24: Meridian with TIV alert (normal setting)",

@@ -12,13 +12,25 @@
 // TIV edge back through the budgeted severity cache. Per-round cache +
 // repair stats show the working set staying bounded.
 //
+// Survivability (docs/RELIABILITY.md): the monitor loop degrades
+// gracefully instead of dying on storage faults. The engine self-heals
+// checksum failures (rebuilding a corrupt severity tile from the input
+// store, repacking a corrupt input tile from the live matrix), and each
+// round logs what recovery absorbed; anything genuinely unrecoverable
+// skips the round with a warning and the loop continues. Pass
+// --inject-bitflips=K to flip one bit on every K-th tile read of both
+// stores (the deterministic fault injector) and watch the healing happen.
+//
 //   ./outcore_monitor [--hosts=200] [--rounds=6] [--seed=1]
+//                     [--inject-bitflips=K]
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "delayspace/datasets.hpp"
+#include "shard/fault_injector.hpp"
 #include "stream/delay_stream.hpp"
 #include "stream/shard_stream.hpp"
 #include "util/flags.hpp"
@@ -33,6 +45,8 @@ int main(int argc, char** argv) {
   const auto hosts = static_cast<std::uint32_t>(flags.get_int("hosts", 200));
   const auto rounds = static_cast<int>(flags.get_int("rounds", 6));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto inject_k =
+      static_cast<std::uint32_t>(flags.get_int("inject-bitflips", 0));
   reject_unknown_flags(flags);
 
   // The "network": a DS^2-like delay space whose matrix seeds the stream.
@@ -64,6 +78,26 @@ int main(int argc, char** argv) {
       std::max(std::size_t{6}, parallel_thread_count() + 1) * out_tile;
   stream::ShardStreamEngine monitor(live.matrix(), cfg);
 
+  // The live matrix is the repair source for corrupt *input* tiles; sink
+  // tiles rebuild from the input store. With both in place every checksum
+  // failure is recoverable and the loop below never has to die for one.
+  monitor.attach_source(&live.matrix());
+
+  std::optional<shard::FaultInjector> in_inj;
+  std::optional<shard::FaultInjector> out_inj;
+  if (inject_k > 0) {
+    shard::FaultInjector::Config fault;
+    fault.bitflip_every_kth_read = inject_k;
+    fault.seed = seed ^ 0xb17ULL;
+    in_inj.emplace(fault);
+    fault.seed = seed ^ 0xf11ULL;
+    out_inj.emplace(fault);
+    monitor.set_input_fault_injector(&*in_inj);
+    monitor.set_sink_fault_injector(&*out_inj);
+    std::cout << "Fault injection ON: one bit flipped on every " << inject_k
+              << "th tile read of each store\n";
+  }
+
   std::cout << "Monitoring " << n << " hosts out of core ("
             << live.matrix().measured_pair_count() << " measured pairs)\n"
             << "  input store:  " << monitor.input_path() << " (cache budget "
@@ -76,6 +110,7 @@ int main(int argc, char** argv) {
                "sev tiles", "edges repaired", "in hit%", "in peak KiB",
                "out peak KiB", "worst edge", "severity"});
   std::vector<float> row(n);
+  auto last_rec = monitor.recovery_stats();
   for (int round = 1; round <= rounds; ++round) {
     // Re-measure ~2% of hosts' edges: noise around the true delay with a
     // 5% outage / recovery mix (measured<->missing churn).
@@ -99,35 +134,62 @@ int main(int argc, char** argv) {
     live.ingest(batch);
 
     const stream::Epoch epoch = live.commit_epoch();
-    const auto stats = monitor.apply_epoch(live.matrix(), epoch.dirty_hosts);
+    // Graceful degradation: the engine heals every checksum failure it can
+    // (and logs what it did below); a genuinely unrecoverable fault skips
+    // the round with a warning instead of killing the monitor.
+    try {
+      const auto stats = monitor.apply_epoch(live.matrix(), epoch.dirty_hosts);
 
-    // Watch-list: the worst currently-known severity, read back through
-    // the budgeted sink cache (never materializing the N^2 result).
-    float worst = -1.0f;
-    HostId wa = 0;
-    HostId wb = 0;
-    for (HostId i = 0; i < n; ++i) {
-      monitor.severity_row(i, row);
-      for (HostId j = i + 1; j < n; ++j) {
-        if (row[j] > worst) {
-          worst = row[j];
-          wa = i;
-          wb = j;
+      // Watch-list: the worst currently-known severity, read back through
+      // the budgeted sink cache (never materializing the N^2 result).
+      float worst = -1.0f;
+      HostId wa = 0;
+      HostId wb = 0;
+      for (HostId i = 0; i < n; ++i) {
+        monitor.severity_row(i, row);
+        for (HostId j = i + 1; j < n; ++j) {
+          if (row[j] > worst) {
+            worst = row[j];
+            wa = i;
+            wb = j;
+          }
         }
       }
+      const auto in_stats = monitor.input_cache_stats();
+      const auto out_stats = monitor.output_cache_stats();
+      table.add_row({std::to_string(round), std::to_string(batch.size()),
+                     std::to_string(epoch.dirty_hosts.size()),
+                     std::to_string(stats.input_tiles_repacked),
+                     std::to_string(stats.severity_tiles_committed),
+                     std::to_string(stats.edges_recomputed),
+                     format_double(100.0 * in_stats.hit_rate(), 1),
+                     std::to_string(in_stats.peak_bytes / 1024),
+                     std::to_string(out_stats.peak_bytes / 1024),
+                     std::to_string(wa) + "-" + std::to_string(wb),
+                     format_double(worst, 3)});
+    } catch (const std::exception& e) {
+      std::cout << "[round " << round << "] unrecoverable storage fault: "
+                << e.what() << " — severities stale this round, continuing\n";
     }
-    const auto in_stats = monitor.input_cache_stats();
-    const auto out_stats = monitor.output_cache_stats();
-    table.add_row({std::to_string(round), std::to_string(batch.size()),
-                   std::to_string(epoch.dirty_hosts.size()),
-                   std::to_string(stats.input_tiles_repacked),
-                   std::to_string(stats.severity_tiles_committed),
-                   std::to_string(stats.edges_recomputed),
-                   format_double(100.0 * in_stats.hit_rate(), 1),
-                   std::to_string(in_stats.peak_bytes / 1024),
-                   std::to_string(out_stats.peak_bytes / 1024),
-                   std::to_string(wa) + "-" + std::to_string(wb),
-                   format_double(worst, 3)});
+
+    // Recovery log: what the storage layer absorbed or healed this round.
+    const auto rec = monitor.recovery_stats();
+    const auto transient = (rec.input_read_retries + rec.sink_read_retries) -
+                           (last_rec.input_read_retries +
+                            last_rec.sink_read_retries);
+    const auto healed_in =
+        rec.input_tiles_recovered - last_rec.input_tiles_recovered;
+    const auto healed_out =
+        rec.sink_tiles_recovered - last_rec.sink_tiles_recovered;
+    const auto retried = rec.io_retries - last_rec.io_retries;
+    if (transient + healed_in + healed_out + retried > 0) {
+      std::cout << "[round " << round << "] recovery: " << transient
+                << " transient flip(s) absorbed by re-read, " << healed_out
+                << " sink tile(s) rebuilt, " << healed_in
+                << " input tile(s) repacked, " << retried
+                << " I/O retr" << (retried == 1 ? "y" : "ies") << "\n";
+    }
+    last_rec = rec;
   }
   table.print(std::cout);
   std::cout << "\nEach round repaired only the dirty input tiles and the "

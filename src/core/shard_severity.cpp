@@ -276,6 +276,14 @@ void all_severities_to_sink(const TileStore& store, TileCache& cache,
                      });
 }
 
+void rebuild_sink_tile(const TileStore& store, TileCache& cache,
+                       sink::SeverityTileStore& sink, std::uint32_t bi,
+                       std::uint32_t bj) {
+  check_sink_matches(store, sink);
+  process_band_pair_to_sink(store, cache, sink, bi, bj, nullptr, nullptr,
+                            true);
+}
+
 SinkRepairStats repair_severities_to_sink(
     const TileStore& store, TileCache& cache, sink::SeverityTileStore& sink,
     std::span<const HostId> dirty_hosts) {

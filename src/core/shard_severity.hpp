@@ -78,6 +78,17 @@ SinkRepairStats repair_severities_to_sink(
     const shard::TileStore& store, shard::TileCache& cache,
     sink::SeverityTileStore& sink, std::span<const HostId> dirty_hosts);
 
+/// Recomputes sink tile (bi, bj), bi <= bj, from scratch through the
+/// band-pair streaming driver and commits it — the one-tile form of
+/// all_severities_to_sink, bit-identical to the tile a full build would
+/// write (same kernels, same ascending-witness-band order). This is the
+/// self-healing primitive of the out-of-core engine: when a sink tile
+/// fails its checksum, its band pair is rebuilt from the (trusted) input
+/// store instead of abandoning the run. Runs on the calling thread.
+void rebuild_sink_tile(const shard::TileStore& store, shard::TileCache& cache,
+                       sink::SeverityTileStore& sink, std::uint32_t bi,
+                       std::uint32_t bj);
+
 /// Exact violating-triangle fraction, streamed. Matches
 /// TivAnalyzer::violating_triangle_fraction(0) bit for bit (the reduction
 /// is integer counting; the final division is the same arithmetic).

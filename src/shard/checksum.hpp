@@ -12,14 +12,37 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace tiv::shard {
 
-/// A tile whose stored checksum does not match its payload — the
-/// distinct error path for on-disk corruption, as opposed to the plain
-/// std::runtime_error used for I/O failures (short reads, missing files).
-struct CorruptTileError : std::runtime_error {
-  using std::runtime_error::runtime_error;
+/// A tile whose stored bytes cannot be trusted — checksum mismatch or a
+/// truncated tile body — as opposed to the plain std::runtime_error used
+/// for hard I/O failures (pread errno, missing files). Carries the tile
+/// coordinates and the store path so a recovery layer (the self-healing
+/// hooks in stream::ShardStreamEngine) can rebuild exactly the damaged
+/// tile instead of giving up on the whole store.
+class CorruptTileError : public std::runtime_error {
+ public:
+  CorruptTileError(const std::string& store_name, std::string store_path,
+                   std::uint32_t r, std::uint32_t c, const std::string& why)
+      : std::runtime_error(store_name + ": tile (" + std::to_string(r) +
+                           ", " + std::to_string(c) + ") " + why + ": " +
+                           store_path),
+        path_(std::move(store_path)),
+        r_(r),
+        c_(c) {}
+
+  /// Path of the store file holding the damaged tile — how a handler
+  /// watching several stores tells input corruption from sink corruption.
+  const std::string& path() const { return path_; }
+  std::uint32_t tile_row() const { return r_; }
+  std::uint32_t tile_col() const { return c_; }
+
+ private:
+  std::string path_;
+  std::uint32_t r_;
+  std::uint32_t c_;
 };
 
 inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;

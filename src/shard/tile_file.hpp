@@ -1,0 +1,214 @@
+// The fixed-record tile-file machinery shared by the two on-disk tile
+// stores — shard::TileStore (delay-matrix input, square tile grid) and
+// sink::SeverityTileStore (severity output, upper-band-triangle grid).
+// One definition of the header/index/checksum-table format, fd lifecycle,
+// and read/write+validate paths, so a hardening fix cannot land in one
+// store and miss the other. The byte layout is exactly the PR 5 format:
+//
+//   [RawHeader 40B][index: tile_count u64 offsets]
+//   [checksums: tile_count u64 FNV-1a][pad to 64B][tile 0][tile 1]..
+//
+// Stores differ only in their magic/version, their index shape (square vs
+// triangular), their per-tile byte formula, and how a tile's bytes are
+// split into sections (payload+masks vs payload only) — all parameters
+// here, not copies of the machinery.
+//
+// Reliability lives at this layer, once for both stores:
+//  - every read validates the chained FNV-1a over the tile's sections;
+//    a mismatch OR a truncated tile body throws CorruptTileError carrying
+//    the tile coordinates and store path (recoverable), while a hard pread
+//    failure stays a std::runtime_error (not a data-integrity signal);
+//  - an optional FaultInjector perturbs reads/commits deterministically
+//    (bit-flip, EIO, torn write, fail-before-checksum) — compiled in
+//    always, a single null check when disabled;
+//  - open() can assert the header geometry (n, tile_dim) against the
+//    geometry the caller expects, so reopening a foreign or stale file
+//    fails loudly instead of serving garbage tiles.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "delayspace/delay_matrix.hpp"
+#include "shard/checksum.hpp"
+
+namespace tiv::shard {
+
+class FaultInjector;
+
+using delayspace::HostId;
+
+/// Which (r, c) pairs a store holds: every tile of the square grid, or
+/// only the upper band triangle r <= c.
+enum class TileIndexShape : std::uint8_t { kSquare, kTriangular };
+
+/// The store-specific constants of a tile-file format. Each store defines
+/// one of these (static, constant) and passes it to every TileFile call.
+struct TileFileParams {
+  const char* magic;   ///< exactly 8 bytes
+  std::uint32_t version;
+  const char* store_name;  ///< error-message prefix ("TileStore", ...)
+  TileIndexShape shape;
+  /// Serialized bytes of one tile as a function of tile_dim.
+  std::size_t (*tile_bytes)(std::uint32_t tile_dim);
+};
+
+/// One section of a tile's serialized bytes (payload, masks, ...).
+struct TileSection {
+  void* data;
+  std::size_t bytes;
+};
+struct ConstTileSection {
+  const void* data;
+  std::size_t bytes;
+};
+
+class TileFile {
+ public:
+  static std::size_t tile_count_for(TileIndexShape shape,
+                                    std::uint32_t tiles) {
+    const auto t = static_cast<std::size_t>(tiles);
+    return shape == TileIndexShape::kSquare ? t * t : t * (t + 1) / 2;
+  }
+
+  /// Streams a new tile file: writes the header, the flat offset index,
+  /// a checksum-table placeholder, and the alignment pad, then appends
+  /// tiles in index order. finish() seeks back and commits the
+  /// accumulated per-tile checksums; finish_sparse() instead records one
+  /// uniform checksum for every tile and truncates the tile region into a
+  /// hole (the zero-filled-create path). Destroying an unfinished Writer
+  /// closes the stream without committing (error-path cleanup is the
+  /// caller's concern, as before).
+  class Writer {
+   public:
+    /// Throws std::invalid_argument unless tile_dim is a nonzero multiple
+    /// of DelayMatrixView::kLaneFloats; std::runtime_error on I/O failure.
+    Writer(const TileFileParams& params, const std::string& path, HostId n,
+           std::uint32_t tile_dim);
+    ~Writer();
+    Writer(const Writer&) = delete;
+    Writer& operator=(const Writer&) = delete;
+
+    std::uint32_t tiles_per_side() const { return tiles_; }
+    std::size_t tile_count() const { return checksums_.size(); }
+    std::size_t tile_bytes() const { return tile_bytes_; }
+
+    /// Appends the next tile (sections in serialized order) and records
+    /// its chained FNV-1a checksum.
+    void append_tile(std::initializer_list<ConstTileSection> sections);
+
+    /// Commits the checksums accumulated by append_tile and closes.
+    void finish();
+
+    /// Commits `uniform_checksum` for every tile, truncates the file to
+    /// its full size (the unwritten tile region preads back as zeros),
+    /// and closes.
+    void finish_sparse(std::uint64_t uniform_checksum);
+
+   private:
+    void commit_checksums_and_close();
+
+    const TileFileParams& params_;
+    std::string path_;
+    std::FILE* f_ = nullptr;
+    std::uint32_t tiles_ = 0;
+    std::size_t tile_bytes_ = 0;
+    std::uint64_t data_offset_ = 0;
+    std::vector<std::uint64_t> checksums_;
+    std::size_t appended_ = 0;
+  };
+
+  /// Opens an existing tile file and validates its header, offset index,
+  /// and checksum table. Throws std::runtime_error on a missing file, a
+  /// malformed or foreign header, or — when expected_n is nonzero — a
+  /// header geometry (n, tile_dim) that does not match what the caller
+  /// requested.
+  static TileFile open(const TileFileParams& params, const std::string& path,
+                       bool writable, HostId expected_n = 0,
+                       std::uint32_t expected_tile_dim = 0);
+
+  TileFile() = default;
+  TileFile(TileFile&& o) noexcept;
+  TileFile& operator=(TileFile&& o) noexcept;
+  TileFile(const TileFile&) = delete;
+  TileFile& operator=(const TileFile&) = delete;
+  ~TileFile();
+
+  HostId size() const { return n_; }
+  std::uint32_t tile_dim() const { return tile_dim_; }
+  std::uint32_t tiles_per_side() const { return tiles_; }
+  std::size_t tile_count() const { return tile_offsets_.size(); }
+  std::size_t tile_bytes() const { return tile_bytes_; }
+  bool writable() const { return writable_; }
+  const std::string& path() const { return path_; }
+
+  /// Rows of tile-row band r that carry real matrix rows (tile_dim except
+  /// for the last band).
+  std::uint32_t band_rows(std::uint32_t r) const;
+
+  /// Flat index of tile (r, c) under the file's index shape (requires
+  /// r <= c for triangular files).
+  std::size_t tile_index(std::uint32_t r, std::uint32_t c) const;
+
+  /// Byte offset of tile (r, c) within the file — stable for the file's
+  /// lifetime (fixed-size tiles). Exposed for the fault-injection
+  /// harnesses that corrupt tiles on disk directly.
+  std::uint64_t tile_offset(std::uint32_t r, std::uint32_t c) const {
+    return tile_offsets_[tile_index(r, c)];
+  }
+
+  /// Attaches (or detaches, nullptr) a fault injector. The injector must
+  /// outlive the file or be detached first; calls are thread-safe.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  /// Reads tile (r, c) into `sections` (serialized order) with positional
+  /// reads — thread-safe — and validates the chained FNV-1a checksum. A
+  /// mismatch is first retried with a fresh pread (up to kReadRetries
+  /// times): a bit flipped in flight — bus/DMA/RAM, or the injector's
+  /// read-flip — is gone on the re-read, so only *persistent* damage (rot
+  /// on the platter, a torn commit) escalates. Throws CorruptTileError on
+  /// a persistent mismatch or a truncated tile body, std::runtime_error on
+  /// a hard I/O failure.
+  void read_tile(std::uint32_t r, std::uint32_t c,
+                 std::initializer_list<TileSection> sections) const;
+
+  /// Extra read attempts after a checksum mismatch before giving up.
+  static constexpr int kReadRetries = 2;
+
+  /// Checksum-mismatch re-reads that came back clean — transient (in-
+  /// flight) corruption absorbed without escalating.
+  std::uint64_t read_retries() const {
+    return read_retries_.load(std::memory_order_relaxed);
+  }
+
+  /// Commits tile (r, c) in place: positional writes of `sections`, then
+  /// the refreshed checksum into the table slot (disk and memory). Safe
+  /// from concurrent threads for distinct tiles. Throws std::runtime_error
+  /// on I/O failure or a read-only open.
+  void write_tile(std::uint32_t r, std::uint32_t c,
+                  std::initializer_list<ConstTileSection> sections);
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+
+  const char* store_name_ = "TileFile";
+  TileIndexShape shape_ = TileIndexShape::kSquare;
+  std::string path_;
+  int fd_ = -1;
+  bool writable_ = false;
+  HostId n_ = 0;
+  std::uint32_t tile_dim_ = 0;
+  std::uint32_t tiles_ = 0;
+  std::size_t tile_bytes_ = 0;
+  std::vector<std::uint64_t> tile_offsets_;    ///< flat index
+  std::vector<std::uint64_t> tile_checksums_;  ///< FNV-1a, same indexing
+  mutable std::atomic<std::uint64_t> read_retries_{0};
+  FaultInjector* injector_ = nullptr;
+};
+
+}  // namespace tiv::shard

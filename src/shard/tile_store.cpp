@@ -1,15 +1,8 @@
 #include "shard/tile_store.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cassert>
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
 #include <stdexcept>
-#include <utility>
 #include <vector>
 
 namespace tiv::shard {
@@ -17,37 +10,16 @@ namespace {
 
 using delayspace::DelayMatrixView;
 
-constexpr char kMagic[8] = {'T', 'I', 'V', 'S', 'H', 'R', 'D', '2'};
-constexpr std::uint32_t kVersion = 2;
-constexpr std::size_t kAlign = 64;
-
-// Fixed-width, padding-free on-disk header (40 bytes).
-struct RawHeader {
-  char magic[8];
-  std::uint32_t version;
-  std::uint32_t n;
-  std::uint32_t tile_dim;
-  std::uint32_t tiles;
-  std::uint64_t tile_bytes;
-  std::uint64_t data_offset;
-};
-static_assert(sizeof(RawHeader) == 40);
-
-[[noreturn]] void fail(const std::string& what, const std::string& path) {
-  throw std::runtime_error("TileStore: " + what + ": " + path);
+std::size_t store_tile_bytes(std::uint32_t tile_dim) {
+  const std::size_t payload_floats =
+      static_cast<std::size_t>(tile_dim) * tile_dim;
+  const std::size_t mask_words =
+      static_cast<std::size_t>(tile_dim) * ((tile_dim + 63) / 64);
+  return payload_floats * sizeof(float) + mask_words * sizeof(std::uint64_t);
 }
 
-void fwrite_all(const void* data, std::size_t bytes, std::FILE* f,
-                const std::string& path) {
-  if (std::fwrite(data, 1, bytes, f) != bytes) fail("write failed", path);
-}
-
-void pwrite_all(int fd, const void* data, std::size_t bytes, off_t off,
-                const std::string& path) {
-  if (::pwrite(fd, data, bytes, off) != static_cast<ssize_t>(bytes)) {
-    fail("write failed", path);
-  }
-}
+constexpr TileFileParams kParams{
+    "TIVSHRD2", 2, "TileStore", TileIndexShape::kSquare, store_tile_bytes};
 
 /// Packs tile (tr, tc) of `m` into payload/masks — the single definition of
 /// a tile's bytes, shared by write_matrix and repack_tile so an in-place
@@ -74,224 +46,54 @@ void pack_tile(const DelayMatrix& m, std::uint32_t tile_dim, std::uint32_t tr,
   }
 }
 
-/// FNV-1a over a tile's serialized bytes: payload section, then masks.
-std::uint64_t tile_checksum(const std::vector<float>& payload,
-                            const std::vector<std::uint64_t>& masks) {
-  const std::uint64_t h =
-      fnv1a(payload.data(), payload.size() * sizeof(float));
-  return fnv1a(masks.data(), masks.size() * sizeof(std::uint64_t), h);
-}
-
-std::size_t checksum_table_offset(std::uint32_t tiles) {
-  return sizeof(RawHeader) +
-         static_cast<std::size_t>(tiles) * tiles * sizeof(std::uint64_t);
-}
-
 }  // namespace
 
 void TileStore::write_matrix(const std::string& path, const DelayMatrix& m,
                              std::uint32_t tile_dim) {
-  if (tile_dim == 0 || tile_dim % DelayMatrixView::kLaneFloats != 0) {
-    throw std::invalid_argument(
-        "TileStore::write_matrix: tile_dim must be a nonzero multiple of " +
-        std::to_string(DelayMatrixView::kLaneFloats));
-  }
-  const HostId n = m.size();
-  const std::uint32_t tiles = (n + tile_dim - 1) / tile_dim;
-  const std::size_t payload_floats =
-      static_cast<std::size_t>(tile_dim) * tile_dim;
-  const std::size_t words_per_row = (tile_dim + 63) / 64;
-  const std::size_t mask_words = tile_dim * words_per_row;
-  const std::size_t tile_bytes =
-      payload_floats * sizeof(float) + mask_words * sizeof(std::uint64_t);
-
-  const std::size_t tile_count = static_cast<std::size_t>(tiles) * tiles;
-  const std::size_t index_bytes = tile_count * sizeof(std::uint64_t);
-  const std::size_t checksum_bytes = index_bytes;
-  const std::size_t data_offset =
-      ((sizeof(RawHeader) + index_bytes + checksum_bytes + kAlign - 1) /
-       kAlign) *
-      kAlign;
-
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) fail("cannot open for writing", path);
-
-  RawHeader h{};
-  std::memcpy(h.magic, kMagic, sizeof(kMagic));
-  h.version = kVersion;
-  h.n = n;
-  h.tile_dim = tile_dim;
-  h.tiles = tiles;
-  h.tile_bytes = tile_bytes;
-  h.data_offset = data_offset;
-  fwrite_all(&h, sizeof(h), f, path);
-
-  std::vector<std::uint64_t> offsets(tile_count);
-  for (std::size_t t = 0; t < offsets.size(); ++t) {
-    offsets[t] = data_offset + t * tile_bytes;
-  }
-  if (!offsets.empty()) {
-    fwrite_all(offsets.data(), index_bytes, f, path);
-  }
-  // Checksum-table placeholder: the per-tile hashes accumulate during the
-  // tile stream below and are committed with one seek-back at the end.
-  std::vector<std::uint64_t> checksums(tile_count, 0);
-  if (!checksums.empty()) {
-    fwrite_all(checksums.data(), checksum_bytes, f, path);
-  }
-  const std::vector<char> pad(
-      data_offset - sizeof(RawHeader) - index_bytes - checksum_bytes, 0);
-  if (!pad.empty()) fwrite_all(pad.data(), pad.size(), f, path);
-
+  TileFile::Writer w(kParams, path, m.size(), tile_dim);
+  const std::uint32_t tiles = w.tiles_per_side();
   // Stream one tile at a time, walking a tile-row band of the source so the
   // writer's working set is one tile, not the packed view.
-  std::vector<float> payload(payload_floats);
-  std::vector<std::uint64_t> masks(mask_words);
+  std::vector<float> payload;
+  std::vector<std::uint64_t> masks;
   for (std::uint32_t tr = 0; tr < tiles; ++tr) {
     for (std::uint32_t tc = 0; tc < tiles; ++tc) {
       pack_tile(m, tile_dim, tr, tc, payload, masks);
-      checksums[static_cast<std::size_t>(tr) * tiles + tc] =
-          tile_checksum(payload, masks);
-      fwrite_all(payload.data(), payload_floats * sizeof(float), f, path);
-      fwrite_all(masks.data(), mask_words * sizeof(std::uint64_t), f, path);
+      w.append_tile({{payload.data(), payload.size() * sizeof(float)},
+                     {masks.data(), masks.size() * sizeof(std::uint64_t)}});
     }
   }
-  if (!checksums.empty()) {
-    if (std::fseek(f, static_cast<long>(checksum_table_offset(tiles)),
-                   SEEK_SET) != 0) {
-      fail("seek to checksum table failed", path);
-    }
-    fwrite_all(checksums.data(), checksum_bytes, f, path);
-  }
-  if (std::fclose(f) != 0) fail("close failed", path);
+  w.finish();
 }
 
-TileStore TileStore::open(const std::string& path, bool writable) {
-  const int fd = ::open(path.c_str(), writable ? O_RDWR : O_RDONLY);
-  if (fd < 0) fail("cannot open", path);
+TileStore TileStore::open(const std::string& path, bool writable,
+                          HostId expected_n,
+                          std::uint32_t expected_tile_dim) {
   TileStore s;
-  s.path_ = path;
-  s.fd_ = fd;
-  s.writable_ = writable;
-
-  RawHeader h{};
-  if (::pread(fd, &h, sizeof(h), 0) != static_cast<ssize_t>(sizeof(h))) {
-    fail("short header", path);
-  }
-  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
-    fail("bad magic", path);
-  }
-  if (h.version != kVersion) fail("unsupported version", path);
-  if (h.tile_dim == 0 || h.tile_dim % DelayMatrixView::kLaneFloats != 0 ||
-      h.tiles != (h.n + h.tile_dim - 1) / h.tile_dim) {
-    fail("inconsistent header", path);
-  }
-  s.n_ = h.n;
-  s.tile_dim_ = h.tile_dim;
-  s.tiles_ = h.tiles;
-  if (h.tile_bytes != s.tile_bytes()) fail("tile size mismatch", path);
-
-  const std::size_t tile_count =
-      static_cast<std::size_t>(s.tiles_) * s.tiles_;
-  s.tile_offsets_.resize(tile_count);
-  s.tile_checksums_.resize(tile_count);
-  const std::size_t index_bytes = tile_count * sizeof(std::uint64_t);
-  if (tile_count != 0) {
-    if (::pread(fd, s.tile_offsets_.data(), index_bytes, sizeof(RawHeader)) !=
-        static_cast<ssize_t>(index_bytes)) {
-      fail("short index", path);
-    }
-    if (::pread(fd, s.tile_checksums_.data(), index_bytes,
-                static_cast<off_t>(checksum_table_offset(s.tiles_))) !=
-        static_cast<ssize_t>(index_bytes)) {
-      fail("short checksum table", path);
-    }
-  }
+  s.file_ = TileFile::open(kParams, path, writable, expected_n,
+                           expected_tile_dim);
   return s;
-}
-
-TileStore::TileStore(TileStore&& o) noexcept
-    : path_(std::move(o.path_)),
-      fd_(std::exchange(o.fd_, -1)),
-      writable_(o.writable_),
-      n_(o.n_),
-      tile_dim_(o.tile_dim_),
-      tiles_(o.tiles_),
-      tile_offsets_(std::move(o.tile_offsets_)),
-      tile_checksums_(std::move(o.tile_checksums_)) {}
-
-TileStore& TileStore::operator=(TileStore&& o) noexcept {
-  if (this != &o) {
-    if (fd_ >= 0) ::close(fd_);
-    path_ = std::move(o.path_);
-    fd_ = std::exchange(o.fd_, -1);
-    writable_ = o.writable_;
-    n_ = o.n_;
-    tile_dim_ = o.tile_dim_;
-    tiles_ = o.tiles_;
-    tile_offsets_ = std::move(o.tile_offsets_);
-    tile_checksums_ = std::move(o.tile_checksums_);
-  }
-  return *this;
-}
-
-TileStore::~TileStore() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-std::uint32_t TileStore::band_rows(std::uint32_t r) const {
-  assert(r < tiles_);
-  const std::size_t base = static_cast<std::size_t>(r) * tile_dim_;
-  return static_cast<std::uint32_t>(
-      std::min<std::size_t>(tile_dim_, n_ - base));
 }
 
 void TileStore::read_tile(std::uint32_t r, std::uint32_t c, float* payload,
                           std::uint64_t* masks) const {
-  assert(r < tiles_ && c < tiles_);
-  const std::uint64_t off = tile_offsets_[tile_index(r, c)];
-  const std::size_t payload_bytes = payload_floats() * sizeof(float);
-  const std::size_t mask_bytes = mask_words() * sizeof(std::uint64_t);
-  if (::pread(fd_, payload, payload_bytes, static_cast<off_t>(off)) !=
-      static_cast<ssize_t>(payload_bytes)) {
-    fail("short tile payload read", path_);
-  }
-  if (::pread(fd_, masks, mask_bytes,
-              static_cast<off_t>(off + payload_bytes)) !=
-      static_cast<ssize_t>(mask_bytes)) {
-    fail("short tile mask read", path_);
-  }
-  const std::uint64_t got =
-      fnv1a(masks, mask_bytes, fnv1a(payload, payload_bytes));
-  if (got != tile_checksums_[tile_index(r, c)]) {
-    throw CorruptTileError("TileStore: tile (" + std::to_string(r) + ", " +
-                           std::to_string(c) + ") checksum mismatch: " +
-                           path_);
-  }
+  file_.read_tile(r, c,
+                  {{payload, payload_floats() * sizeof(float)},
+                   {masks, mask_words() * sizeof(std::uint64_t)}});
 }
 
 void TileStore::repack_tile(const DelayMatrix& m, std::uint32_t r,
                             std::uint32_t c) {
-  assert(r < tiles_ && c < tiles_);
-  if (!writable_) fail("repack_tile on a read-only store", path_);
-  if (m.size() != n_) fail("repack_tile matrix size mismatch", path_);
+  if (m.size() != size()) {
+    throw std::runtime_error("TileStore: repack_tile matrix size mismatch: " +
+                             path());
+  }
   std::vector<float> payload;
   std::vector<std::uint64_t> masks;
-  pack_tile(m, tile_dim_, r, c, payload, masks);
-  const std::uint64_t sum = tile_checksum(payload, masks);
-
-  const std::size_t idx = tile_index(r, c);
-  const std::uint64_t off = tile_offsets_[idx];
-  const std::size_t payload_bytes = payload.size() * sizeof(float);
-  pwrite_all(fd_, payload.data(), payload_bytes, static_cast<off_t>(off),
-             path_);
-  pwrite_all(fd_, masks.data(), masks.size() * sizeof(std::uint64_t),
-             static_cast<off_t>(off + payload_bytes), path_);
-  pwrite_all(fd_, &sum, sizeof(sum),
-             static_cast<off_t>(checksum_table_offset(tiles_) +
-                                idx * sizeof(std::uint64_t)),
-             path_);
-  tile_checksums_[idx] = sum;
+  pack_tile(m, tile_dim(), r, c, payload, masks);
+  file_.write_tile(r, c,
+                   {{payload.data(), payload.size() * sizeof(float)},
+                    {masks.data(), masks.size() * sizeof(std::uint64_t)}});
 }
 
 }  // namespace tiv::shard

@@ -18,38 +18,30 @@
 //            zero, so chunked AND+popcount witness counting over tiles sums
 //            to the full-row counts.
 //
-// Every tile has the same byte size (edge tiles are padded), so the tile
-// index is a flat offset table. File layout (format version 2):
+// Payload precedes masks within a tile; with tile_dim % 16 == 0 both
+// sections are themselves multiples of 64 bytes, so an aligned in-memory
+// destination keeps every payload row cache-line aligned for the SIMD
+// kernels.
 //
-//   [header][index: tiles_per_side^2 u64 offsets]
-//   [checksums: tiles_per_side^2 u64 FNV-1a][64B pad][tile 0][tile 1]..
-//
-// Tiles start 64-byte aligned within the file and payload precedes masks
-// within a tile; with tile_dim % 16 == 0 both sections are themselves
-// multiples of 64 bytes, so an aligned in-memory destination keeps every
-// payload row cache-line aligned for the SIMD kernels.
-//
-// Every tile carries an FNV-1a checksum over its serialized bytes
-// (payload then masks), written with the tile and validated on every
-// read_tile: corruption surfaces as shard::CorruptTileError instead of
-// masked-delay garbage flowing into the witness kernels.
-//
-// Writing streams one tile-row band of the source matrix at a time (O(T*N)
-// memory), so a store can be produced without ever materializing the packed
-// view. Reading uses pread(2) and is safe from concurrent threads. A store
-// opened writable additionally supports repack_tile — the in-place tile
-// repair of the out-of-core streaming engine (src/stream/shard_stream),
-// byte-identical to the tile a fresh write_matrix of the mutated matrix
-// would produce, mirroring DelayMatrixView::repack_row.
+// The file format (header/offset-index/checksum-table layout, FNV-1a
+// validation on every read, in-place tile commits, fault-injection hooks)
+// is shard::TileFile with a square index shape — shared with the severity
+// output store, which differs only in its parameters. This store owns what
+// is specific to delay matrices: the tile byte encoding above, write_matrix
+// (streaming one tile-row band at a time, O(T*N) memory), and repack_tile —
+// the in-place tile repair of the out-of-core streaming engine
+// (src/stream/shard_stream), byte-identical to the tile a fresh
+// write_matrix of the mutated matrix would produce, mirroring
+// DelayMatrixView::repack_row.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "delayspace/delay_matrix.hpp"
 #include "shard/checksum.hpp"
+#include "shard/tile_file.hpp"
 
 namespace tiv::shard {
 
@@ -70,42 +62,63 @@ class TileStore {
                            std::uint32_t tile_dim = kDefaultTileDim);
 
   /// Opens an existing store. Throws std::runtime_error on a missing file
-  /// or a malformed/mismatched header. `writable` opens the file O_RDWR and
-  /// enables repack_tile.
-  static TileStore open(const std::string& path, bool writable = false);
+  /// or a malformed/mismatched header — including, when expected_n is
+  /// nonzero, a header geometry (n, tile_dim) that differs from what the
+  /// caller expects. `writable` opens the file O_RDWR and enables
+  /// repack_tile.
+  static TileStore open(const std::string& path, bool writable = false,
+                        HostId expected_n = 0,
+                        std::uint32_t expected_tile_dim = 0);
 
-  TileStore(TileStore&& o) noexcept;
-  TileStore& operator=(TileStore&& o) noexcept;
+  TileStore(TileStore&&) noexcept = default;
+  TileStore& operator=(TileStore&&) noexcept = default;
   TileStore(const TileStore&) = delete;
   TileStore& operator=(const TileStore&) = delete;
-  ~TileStore();
 
-  HostId size() const { return n_; }
-  std::uint32_t tile_dim() const { return tile_dim_; }
-  std::uint32_t tiles_per_side() const { return tiles_; }
+  HostId size() const { return file_.size(); }
+  std::uint32_t tile_dim() const { return file_.tile_dim(); }
+  std::uint32_t tiles_per_side() const { return file_.tiles_per_side(); }
 
   /// Floats in a tile payload (tile_dim^2).
   std::size_t payload_floats() const {
-    return static_cast<std::size_t>(tile_dim_) * tile_dim_;
+    return static_cast<std::size_t>(tile_dim()) * tile_dim();
   }
   /// Bitmask words per tile row (ceil(tile_dim / 64)).
-  std::size_t mask_words_per_row() const { return (tile_dim_ + 63) / 64; }
+  std::size_t mask_words_per_row() const { return (tile_dim() + 63) / 64; }
   /// Bitmask words in a whole tile.
-  std::size_t mask_words() const { return tile_dim_ * mask_words_per_row(); }
-  /// Serialized tile size (payload + masks), a multiple of 64 bytes.
-  std::size_t tile_bytes() const {
-    return payload_floats() * sizeof(float) +
-           mask_words() * sizeof(std::uint64_t);
+  std::size_t mask_words() const {
+    return tile_dim() * mask_words_per_row();
   }
+  /// Serialized tile size (payload + masks), a multiple of 64 bytes.
+  std::size_t tile_bytes() const { return file_.tile_bytes(); }
 
   /// Rows of tile-row band r that carry real matrix rows (tile_dim except
   /// for the last band).
-  std::uint32_t band_rows(std::uint32_t r) const;
+  std::uint32_t band_rows(std::uint32_t r) const {
+    return file_.band_rows(r);
+  }
+
+  /// Byte offset of tile (r, c) in the file — for fault-injection
+  /// harnesses that damage tiles on disk directly.
+  std::uint64_t tile_offset(std::uint32_t r, std::uint32_t c) const {
+    return file_.tile_offset(r, c);
+  }
+
+  /// Attaches (or detaches, nullptr) a deterministic fault injector to
+  /// this store's reads and commits. See shard/fault_injector.hpp.
+  void set_fault_injector(FaultInjector* injector) {
+    file_.set_fault_injector(injector);
+  }
+  FaultInjector* fault_injector() const { return file_.fault_injector(); }
+
+  /// Checksum-mismatch re-reads absorbed as transient (see
+  /// TileFile::read_retries).
+  std::uint64_t read_retries() const { return file_.read_retries(); }
 
   /// Reads tile (r, c) into caller-provided buffers: payload_floats()
   /// floats and mask_words() words. Thread-safe (positional reads). Throws
   /// std::runtime_error on I/O failure and CorruptTileError when the tile
-  /// bytes do not match their stored checksum.
+  /// bytes do not match their stored checksum (or the tile is truncated).
   void read_tile(std::uint32_t r, std::uint32_t c, float* payload,
                  std::uint64_t* masks) const;
 
@@ -119,24 +132,13 @@ class TileStore {
   /// no tile refs are outstanding.
   void repack_tile(const DelayMatrix& m, std::uint32_t r, std::uint32_t c);
 
-  bool writable() const { return writable_; }
-  const std::string& path() const { return path_; }
+  bool writable() const { return file_.writable(); }
+  const std::string& path() const { return file_.path(); }
 
  private:
   TileStore() = default;
 
-  std::size_t tile_index(std::uint32_t r, std::uint32_t c) const {
-    return static_cast<std::size_t>(r) * tiles_ + c;
-  }
-
-  std::string path_;
-  int fd_ = -1;
-  bool writable_ = false;
-  HostId n_ = 0;
-  std::uint32_t tile_dim_ = 0;
-  std::uint32_t tiles_ = 0;
-  std::vector<std::uint64_t> tile_offsets_;    ///< flat index, row-major
-  std::vector<std::uint64_t> tile_checksums_;  ///< FNV-1a, same indexing
+  TileFile file_;
 };
 
 }  // namespace tiv::shard

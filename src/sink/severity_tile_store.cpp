@@ -1,239 +1,37 @@
 #include "sink/severity_tile_store.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <algorithm>
-#include <cassert>
-#include <cstdio>
-#include <cstring>
-#include <stdexcept>
-#include <utility>
+#include <vector>
 
 namespace tiv::sink {
 namespace {
 
-using delayspace::DelayMatrixView;
-
-constexpr char kMagic[8] = {'T', 'I', 'V', 'S', 'S', 'E', 'V', '1'};
-constexpr std::uint32_t kVersion = 1;
-constexpr std::size_t kAlign = 64;
-
-// Same fixed-width 40-byte header shape as the shard input store.
-struct RawHeader {
-  char magic[8];
-  std::uint32_t version;
-  std::uint32_t n;
-  std::uint32_t tile_dim;
-  std::uint32_t tiles;
-  std::uint64_t tile_bytes;
-  std::uint64_t data_offset;
-};
-static_assert(sizeof(RawHeader) == 40);
-
-[[noreturn]] void fail(const std::string& what, const std::string& path) {
-  throw std::runtime_error("SeverityTileStore: " + what + ": " + path);
+std::size_t store_tile_bytes(std::uint32_t tile_dim) {
+  return static_cast<std::size_t>(tile_dim) * tile_dim * sizeof(float);
 }
 
-void fwrite_all(const void* data, std::size_t bytes, std::FILE* f,
-                const std::string& path) {
-  if (std::fwrite(data, 1, bytes, f) != bytes) fail("write failed", path);
-}
-
-std::size_t tri_count(std::uint32_t tiles) {
-  return static_cast<std::size_t>(tiles) * (tiles + 1) / 2;
-}
-
-std::size_t checksum_table_offset(std::uint32_t tiles) {
-  return sizeof(RawHeader) + tri_count(tiles) * sizeof(std::uint64_t);
-}
+constexpr shard::TileFileParams kParams{"TIVSSEV1", 1, "SeverityTileStore",
+                                        shard::TileIndexShape::kTriangular,
+                                        store_tile_bytes};
 
 }  // namespace
 
-std::size_t SeverityTileStore::tile_index(std::uint32_t r,
-                                          std::uint32_t c) const {
-  assert(r <= c && c < tiles_);
-  // Row r of the upper triangle starts after r full rows minus the
-  // triangle above: r*tiles - r*(r-1)/2, then offset (c - r) within it.
-  return static_cast<std::size_t>(r) * tiles_ -
-         static_cast<std::size_t>(r) * (r - 1) / 2 + (c - r);
-}
-
 void SeverityTileStore::create(const std::string& path, HostId n,
                                std::uint32_t tile_dim) {
-  if (tile_dim == 0 || tile_dim % DelayMatrixView::kLaneFloats != 0) {
-    throw std::invalid_argument(
-        "SeverityTileStore::create: tile_dim must be a nonzero multiple of " +
-        std::to_string(DelayMatrixView::kLaneFloats));
-  }
-  const std::uint32_t tiles = (n + tile_dim - 1) / tile_dim;
-  const std::size_t payload_floats =
-      static_cast<std::size_t>(tile_dim) * tile_dim;
-  const std::size_t tile_bytes = payload_floats * sizeof(float);
-  const std::size_t count = tri_count(tiles);
-  const std::size_t index_bytes = count * sizeof(std::uint64_t);
-  const std::size_t data_offset =
-      ((sizeof(RawHeader) + 2 * index_bytes + kAlign - 1) / kAlign) * kAlign;
-
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) fail("cannot open for writing", path);
-
-  RawHeader h{};
-  std::memcpy(h.magic, kMagic, sizeof(kMagic));
-  h.version = kVersion;
-  h.n = n;
-  h.tile_dim = tile_dim;
-  h.tiles = tiles;
-  h.tile_bytes = tile_bytes;
-  h.data_offset = data_offset;
-  fwrite_all(&h, sizeof(h), f, path);
-
-  std::vector<std::uint64_t> offsets(count);
-  for (std::size_t t = 0; t < count; ++t) {
-    offsets[t] = data_offset + t * tile_bytes;
-  }
-  if (count != 0) fwrite_all(offsets.data(), index_bytes, f, path);
-
+  shard::TileFile::Writer w(kParams, path, n, tile_dim);
   // Every tile starts zeroed, so the whole checksum table is the one hash
-  // of a zero tile.
-  const std::vector<float> zero_tile(payload_floats, 0.0f);
-  const std::uint64_t zero_sum = shard::fnv1a(zero_tile.data(), tile_bytes);
-  const std::vector<std::uint64_t> checksums(count, zero_sum);
-  if (count != 0) fwrite_all(checksums.data(), index_bytes, f, path);
-
-  const std::vector<char> pad(
-      data_offset - sizeof(RawHeader) - 2 * index_bytes, 0);
-  if (!pad.empty()) fwrite_all(pad.data(), pad.size(), f, path);
-
-  // The tile region is a hole, not tri_count physical zero writes (~20 GB
-  // at the N >= 1e5 target): holes pread back as zeros, which is exactly
-  // the zero tile the precomputed checksum above describes, so read_tile
-  // behavior is byte-identical and blocks materialize only as tiles are
-  // actually committed.
-  if (std::fflush(f) != 0) fail("flush failed", path);
-  if (::ftruncate(::fileno(f),
-                  static_cast<off_t>(data_offset + count * tile_bytes)) !=
-      0) {
-    fail("truncate failed", path);
-  }
-  if (std::fclose(f) != 0) fail("close failed", path);
+  // of a zero tile (and the tile region itself can stay a hole).
+  const std::vector<float> zero_tile(
+      static_cast<std::size_t>(tile_dim) * tile_dim, 0.0f);
+  w.finish_sparse(shard::fnv1a(zero_tile.data(), w.tile_bytes()));
 }
 
 SeverityTileStore SeverityTileStore::open(const std::string& path,
-                                          bool writable) {
-  const int fd = ::open(path.c_str(), writable ? O_RDWR : O_RDONLY);
-  if (fd < 0) fail("cannot open", path);
+                                          bool writable, HostId expected_n,
+                                          std::uint32_t expected_tile_dim) {
   SeverityTileStore s;
-  s.path_ = path;
-  s.fd_ = fd;
-  s.writable_ = writable;
-
-  RawHeader h{};
-  if (::pread(fd, &h, sizeof(h), 0) != static_cast<ssize_t>(sizeof(h))) {
-    fail("short header", path);
-  }
-  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
-    fail("bad magic", path);
-  }
-  if (h.version != kVersion) fail("unsupported version", path);
-  if (h.tile_dim == 0 || h.tile_dim % DelayMatrixView::kLaneFloats != 0 ||
-      h.tiles != (h.n + h.tile_dim - 1) / h.tile_dim) {
-    fail("inconsistent header", path);
-  }
-  s.n_ = h.n;
-  s.tile_dim_ = h.tile_dim;
-  s.tiles_ = h.tiles;
-  if (h.tile_bytes != s.tile_bytes()) fail("tile size mismatch", path);
-
-  const std::size_t count = tri_count(s.tiles_);
-  s.tile_offsets_.resize(count);
-  s.tile_checksums_.resize(count);
-  const std::size_t index_bytes = count * sizeof(std::uint64_t);
-  if (count != 0) {
-    if (::pread(fd, s.tile_offsets_.data(), index_bytes, sizeof(RawHeader)) !=
-        static_cast<ssize_t>(index_bytes)) {
-      fail("short index", path);
-    }
-    if (::pread(fd, s.tile_checksums_.data(), index_bytes,
-                static_cast<off_t>(checksum_table_offset(s.tiles_))) !=
-        static_cast<ssize_t>(index_bytes)) {
-      fail("short checksum table", path);
-    }
-  }
+  s.file_ = shard::TileFile::open(kParams, path, writable, expected_n,
+                                  expected_tile_dim);
   return s;
-}
-
-SeverityTileStore::SeverityTileStore(SeverityTileStore&& o) noexcept
-    : path_(std::move(o.path_)),
-      fd_(std::exchange(o.fd_, -1)),
-      writable_(o.writable_),
-      n_(o.n_),
-      tile_dim_(o.tile_dim_),
-      tiles_(o.tiles_),
-      tile_offsets_(std::move(o.tile_offsets_)),
-      tile_checksums_(std::move(o.tile_checksums_)) {}
-
-SeverityTileStore& SeverityTileStore::operator=(
-    SeverityTileStore&& o) noexcept {
-  if (this != &o) {
-    if (fd_ >= 0) ::close(fd_);
-    path_ = std::move(o.path_);
-    fd_ = std::exchange(o.fd_, -1);
-    writable_ = o.writable_;
-    n_ = o.n_;
-    tile_dim_ = o.tile_dim_;
-    tiles_ = o.tiles_;
-    tile_offsets_ = std::move(o.tile_offsets_);
-    tile_checksums_ = std::move(o.tile_checksums_);
-  }
-  return *this;
-}
-
-SeverityTileStore::~SeverityTileStore() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-std::uint32_t SeverityTileStore::band_rows(std::uint32_t r) const {
-  assert(r < tiles_);
-  const std::size_t base = static_cast<std::size_t>(r) * tile_dim_;
-  return static_cast<std::uint32_t>(
-      std::min<std::size_t>(tile_dim_, n_ - base));
-}
-
-void SeverityTileStore::read_tile(std::uint32_t r, std::uint32_t c,
-                                  float* payload) const {
-  const std::size_t idx = tile_index(r, c);
-  const std::uint64_t off = tile_offsets_[idx];
-  const std::size_t bytes = tile_bytes();
-  if (::pread(fd_, payload, bytes, static_cast<off_t>(off)) !=
-      static_cast<ssize_t>(bytes)) {
-    fail("short tile read", path_);
-  }
-  if (shard::fnv1a(payload, bytes) != tile_checksums_[idx]) {
-    throw shard::CorruptTileError(
-        "SeverityTileStore: tile (" + std::to_string(r) + ", " +
-        std::to_string(c) + ") checksum mismatch: " + path_);
-  }
-}
-
-void SeverityTileStore::write_tile(std::uint32_t r, std::uint32_t c,
-                                   const float* payload) {
-  if (!writable_) fail("write_tile on a read-only store", path_);
-  const std::size_t idx = tile_index(r, c);
-  const std::uint64_t off = tile_offsets_[idx];
-  const std::size_t bytes = tile_bytes();
-  const std::uint64_t sum = shard::fnv1a(payload, bytes);
-  if (::pwrite(fd_, payload, bytes, static_cast<off_t>(off)) !=
-      static_cast<ssize_t>(bytes)) {
-    fail("short tile write", path_);
-  }
-  if (::pwrite(fd_, &sum, sizeof(sum),
-               static_cast<off_t>(checksum_table_offset(tiles_) +
-                                  idx * sizeof(std::uint64_t))) !=
-      static_cast<ssize_t>(sizeof(sum))) {
-    fail("short checksum write", path_);
-  }
-  tile_checksums_[idx] = sum;
 }
 
 }  // namespace tiv::sink

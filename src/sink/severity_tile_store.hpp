@@ -19,29 +19,25 @@
 // row i still walks tiles (c, band(i)) for c < band(i) column-wise, which
 // the budgeted cache (severity_cache.hpp) keeps cheap.
 //
-// File layout (mirrors the shard conventions, triangular index):
-//
-//   [header][index: tri_count u64 offsets][checksums: tri_count u64 FNV-1a]
-//   [64B pad][tile 0][tile 1]..
-//
-// Tiles are 64-byte aligned (tile_dim % 16 == 0 makes the payload a
-// multiple of 1 KiB). Every tile carries an FNV-1a checksum validated on
-// read_tile — corruption surfaces as shard::CorruptTileError. write_tile
-// rewrites a tile in place (fixed-size tiles, stable offsets) and commits
-// the refreshed checksum with it: the dirty-tile commit path of the
-// streaming engine. Reads use pread(2) and are thread-safe; concurrent
-// writes to *distinct* tiles are safe (positional writes, distinct
-// checksum slots), which is what lets the band-pair repair driver commit
-// tiles from pool workers.
+// The file machinery (header/offset-index/checksum-table layout, FNV-1a
+// validation on every read_tile, in-place write_tile commits,
+// fault-injection hooks) is shard::TileFile with a triangular index shape —
+// one definition shared with the input store. create() builds the store
+// sparse: the tile region is a hole (holes pread back as zeros, exactly the
+// all-zero severity every tile starts with), so blocks materialize only as
+// tiles are committed. Reads use pread(2) and are thread-safe; concurrent
+// writes to *distinct* tiles are safe (positional writes, distinct checksum
+// slots), which is what lets the band-pair repair driver commit tiles from
+// pool workers.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "delayspace/delay_matrix.hpp"
 #include "shard/checksum.hpp"
+#include "shard/tile_file.hpp"
 #include "shard/tile_store.hpp"
 
 namespace tiv::sink {
@@ -58,60 +54,80 @@ class SeverityTileStore {
                      std::uint32_t tile_dim = shard::kDefaultTileDim);
 
   /// Opens an existing store; `writable` enables write_tile. Throws
-  /// std::runtime_error on a missing file or malformed header.
+  /// std::runtime_error on a missing file or a malformed/mismatched
+  /// header — including, when expected_n is nonzero, a header geometry
+  /// (n, tile_dim) that differs from what the caller expects.
   static SeverityTileStore open(const std::string& path,
-                                bool writable = false);
+                                bool writable = false, HostId expected_n = 0,
+                                std::uint32_t expected_tile_dim = 0);
 
-  SeverityTileStore(SeverityTileStore&& o) noexcept;
-  SeverityTileStore& operator=(SeverityTileStore&& o) noexcept;
+  SeverityTileStore(SeverityTileStore&&) noexcept = default;
+  SeverityTileStore& operator=(SeverityTileStore&&) noexcept = default;
   SeverityTileStore(const SeverityTileStore&) = delete;
   SeverityTileStore& operator=(const SeverityTileStore&) = delete;
-  ~SeverityTileStore();
 
-  HostId size() const { return n_; }
-  std::uint32_t tile_dim() const { return tile_dim_; }
-  std::uint32_t tiles_per_side() const { return tiles_; }
+  HostId size() const { return file_.size(); }
+  std::uint32_t tile_dim() const { return file_.tile_dim(); }
+  std::uint32_t tiles_per_side() const { return file_.tiles_per_side(); }
   /// Stored tiles: the upper band triangle, diagonal included.
-  std::size_t tile_count() const {
-    return static_cast<std::size_t>(tiles_) * (tiles_ + 1) / 2;
-  }
+  std::size_t tile_count() const { return file_.tile_count(); }
   /// Floats in one tile (tile_dim^2) — also its serialized size / 4.
   std::size_t payload_floats() const {
-    return static_cast<std::size_t>(tile_dim_) * tile_dim_;
+    return static_cast<std::size_t>(tile_dim()) * tile_dim();
   }
-  std::size_t tile_bytes() const { return payload_floats() * sizeof(float); }
+  std::size_t tile_bytes() const { return file_.tile_bytes(); }
 
   /// Rows of band r that carry real matrix rows (tile_dim except the last).
-  std::uint32_t band_rows(std::uint32_t r) const;
+  std::uint32_t band_rows(std::uint32_t r) const {
+    return file_.band_rows(r);
+  }
 
   /// Flat index of tile (r, c) in the upper band triangle. Requires r <= c.
-  std::size_t tile_index(std::uint32_t r, std::uint32_t c) const;
+  std::size_t tile_index(std::uint32_t r, std::uint32_t c) const {
+    return file_.tile_index(r, c);
+  }
+
+  /// Byte offset of tile (r, c) in the file — for fault-injection
+  /// harnesses that damage tiles on disk directly.
+  std::uint64_t tile_offset(std::uint32_t r, std::uint32_t c) const {
+    return file_.tile_offset(r, c);
+  }
+
+  /// Attaches (or detaches, nullptr) a deterministic fault injector to
+  /// this store's reads and commits. See shard/fault_injector.hpp.
+  void set_fault_injector(shard::FaultInjector* injector) {
+    file_.set_fault_injector(injector);
+  }
+  shard::FaultInjector* fault_injector() const {
+    return file_.fault_injector();
+  }
+
+  /// Checksum-mismatch re-reads absorbed as transient (see
+  /// shard::TileFile::read_retries).
+  std::uint64_t read_retries() const { return file_.read_retries(); }
 
   /// Reads tile (r, c), r <= c, into payload_floats() floats. Thread-safe.
   /// Throws std::runtime_error on I/O failure, shard::CorruptTileError on a
-  /// checksum mismatch.
-  void read_tile(std::uint32_t r, std::uint32_t c, float* payload) const;
+  /// checksum mismatch or a truncated tile.
+  void read_tile(std::uint32_t r, std::uint32_t c, float* payload) const {
+    file_.read_tile(r, c, {{payload, tile_bytes()}});
+  }
 
   /// Rewrites tile (r, c), r <= c, in place and commits its checksum.
   /// Requires a writable open. Safe from concurrent threads for distinct
   /// tiles; not safe concurrently with reads of the same tile (the repair
   /// driver owns a dirty tile exclusively while it rewrites it).
-  void write_tile(std::uint32_t r, std::uint32_t c, const float* payload);
+  void write_tile(std::uint32_t r, std::uint32_t c, const float* payload) {
+    file_.write_tile(r, c, {{payload, tile_bytes()}});
+  }
 
-  bool writable() const { return writable_; }
-  const std::string& path() const { return path_; }
+  bool writable() const { return file_.writable(); }
+  const std::string& path() const { return file_.path(); }
 
  private:
   SeverityTileStore() = default;
 
-  std::string path_;
-  int fd_ = -1;
-  bool writable_ = false;
-  HostId n_ = 0;
-  std::uint32_t tile_dim_ = 0;
-  std::uint32_t tiles_ = 0;
-  std::vector<std::uint64_t> tile_offsets_;    ///< triangular index
-  std::vector<std::uint64_t> tile_checksums_;  ///< FNV-1a, same indexing
+  shard::TileFile file_;
 };
 
 }  // namespace tiv::sink

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "core/shard_severity.hpp"
+#include "shard/fault_injector.hpp"
+#include "stream/epoch_manifest.hpp"
 
 namespace tiv::stream {
 namespace {
@@ -21,6 +23,12 @@ std::string derive_path(const std::string& configured, const char* tag) {
                     std::to_string(counter.fetch_add(1)) + ".tiles";
   return (std::filesystem::temp_directory_path() / name).string();
 }
+
+/// Ceiling on heal/retry actions per engine operation: generous enough for
+/// a soak run's worth of injected faults inside one repair pass, small
+/// enough that persistent unhealable damage (or an injector so hot the
+/// heal path itself never completes) fails loudly instead of spinning.
+constexpr int kMaxRecoveryActions = 256;
 
 }  // namespace
 
@@ -57,6 +65,56 @@ ShardStreamEngine::ShardStreamEngine(const delayspace::DelayMatrix& initial,
   guard.armed = false;
 }
 
+ShardStreamEngine::ShardStreamEngine(RecoverTag,
+                                     const delayspace::DelayMatrix& matrix,
+                                     ShardStreamConfig config)
+    : config_(std::move(config)), source_(&matrix) {
+  if (config_.input_path.empty() || config_.sink_path.empty()) {
+    throw std::invalid_argument(
+        "ShardStreamEngine::recover: input_path and sink_path must name the "
+        "existing store files");
+  }
+  // Geometry-checked opens: a foreign or stale file (different n or
+  // tile_dim than this engine expects) is rejected here instead of
+  // serving garbage tiles later.
+  input_ = shard::TileStore::open(config_.input_path, /*writable=*/true,
+                                  matrix.size(), config_.tile_dim);
+  input_cache_.emplace(*input_, config_.input_budget_bytes);
+  sink_ = sink::SeverityTileStore::open(config_.sink_path, /*writable=*/true,
+                                        matrix.size(), config_.tile_dim);
+  sink_cache_.emplace(*sink_, config_.output_budget_bytes);
+
+  const auto manifest =
+      EpochManifest::load(EpochManifest::path_for(config_.sink_path));
+  if (!manifest.has_value()) return;  // clean shutdown (or torn manifest
+                                      // write — stores untouched either way)
+
+  // Torn epoch: only the journaled tiles are suspect. Re-repack every
+  // journaled input tile from the post-epoch matrix (idempotent for the
+  // ones that did land), then rebuild every journaled sink tile from the
+  // now-consistent input store — the full-build one-tile driver, so each
+  // converges to exactly the bytes the completed epoch would have written.
+  for (const auto& [r, c] : manifest->input_tiles) {
+    input_->repack_tile(matrix, r, c);
+    input_cache_->invalidate(r, c);
+  }
+  for (const auto& [r, c] : manifest->sink_tiles) {
+    with_recovery([&, r = r, c = c] {
+      core::rebuild_sink_tile(*input_, *input_cache_, *sink_, r, c);
+      return 0;
+    });
+    sink_cache_->invalidate(r, c);
+  }
+  EpochManifest::clear(EpochManifest::path_for(config_.sink_path));
+  epochs_applied_ = manifest->generation;
+  ++recovery_.torn_epochs_replayed;
+}
+
+ShardStreamEngine ShardStreamEngine::recover(
+    const delayspace::DelayMatrix& matrix, ShardStreamConfig config) {
+  return ShardStreamEngine(RecoverTag{}, matrix, std::move(config));
+}
+
 ShardStreamEngine::~ShardStreamEngine() {
   if (config_.keep_files) return;
   // Best-effort cleanup; the stores' fds close in the member destructors
@@ -64,6 +122,70 @@ ShardStreamEngine::~ShardStreamEngine() {
   std::error_code ec;
   std::filesystem::remove(config_.input_path, ec);
   std::filesystem::remove(config_.sink_path, ec);
+  std::filesystem::remove(EpochManifest::path_for(config_.sink_path), ec);
+}
+
+void ShardStreamEngine::heal(const shard::CorruptTileError& e) {
+  const std::uint32_t r = e.tile_row();
+  const std::uint32_t c = e.tile_col();
+  if (e.path() == sink_->path()) {
+    // A sink tile is pure function of the input store: rebuild its band
+    // pair from scratch — bit-identical to what a full build would write.
+    core::rebuild_sink_tile(*input_, *input_cache_, *sink_, r, c);
+    sink_cache_->invalidate(r, c);
+    ++recovery_.sink_tiles_recovered;
+    return;
+  }
+  if (e.path() == input_->path() && source_ != nullptr) {
+    // The live matrix (DelayStream keeps it in RAM) is the ground truth
+    // for input tiles; repack is byte-identical to a fresh build.
+    input_->repack_tile(*source_, r, c);
+    input_cache_->invalidate(r, c);
+    ++recovery_.input_tiles_recovered;
+    return;
+  }
+  throw e;  // foreign store, or input damage with no repair source
+}
+
+template <typename Fn>
+auto ShardStreamEngine::with_recovery(Fn&& fn) -> decltype(fn()) {
+  int actions = 0;
+  for (;;) {
+    try {
+      return fn();
+    } catch (shard::CorruptTileError e) {
+      // Heal the named tile, then retry the operation. The heal itself
+      // reads tiles and can trip over *another* corrupt tile (or an
+      // injected I/O error): heal innermost-first and let the outer retry
+      // find whatever is still broken. InjectedCrash is never caught —
+      // a simulated kill must propagate to the harness.
+      for (;;) {
+        if (++actions > kMaxRecoveryActions) throw;
+        try {
+          heal(e);
+          break;
+        } catch (const shard::CorruptTileError& inner) {
+          e = inner;
+        } catch (const shard::InjectedIoError&) {
+          ++recovery_.io_retries;
+        }
+      }
+    } catch (const shard::InjectedIoError&) {
+      if (++actions > kMaxRecoveryActions) throw;
+      ++recovery_.io_retries;
+    }
+  }
+}
+
+float ShardStreamEngine::severity(HostId a, HostId b) {
+  return with_recovery([&] { return sink_cache_->at(a, b); });
+}
+
+void ShardStreamEngine::severity_row(HostId a, std::span<float> out) {
+  with_recovery([&] {
+    sink_cache_->read_row(a, out);
+    return 0;
+  });
 }
 
 ShardStreamEngine::EpochStats ShardStreamEngine::apply_epoch(
@@ -81,43 +203,79 @@ ShardStreamEngine::EpochStats ShardStreamEngine::apply_epoch(
   std::vector<std::uint8_t> band_dirty(bands, 0);
   for (const HostId h : dirty_hosts) band_dirty[h / T] = 1;
 
+  // `matrix` is the ground truth while this epoch applies: make it the
+  // repair source so corrupt input tiles heal mid-epoch too (restored on
+  // exit — the caller may not guarantee it outlives the engine).
+  struct SourceScope {
+    ShardStreamEngine& engine;
+    const delayspace::DelayMatrix* saved;
+    ~SourceScope() { engine.source_ = saved; }
+  } scope{*this, source_};
+  source_ = &matrix;
+
   // 0. Quiesce the prefetcher: hints left over from the previous band-pair
   // scan must not read tiles concurrently with the repacks below (a racing
   // read could pin a tile across invalidate(), or observe a torn write).
   input_cache_->drain_prefetch();
 
-  // 1. Input repair. A changed entry (x, y) requires edge (x, y) updated,
+  // 1. Journal the epoch before the first in-place write: the input tiles
+  // about to be repacked and the superset of sink tiles that can hold a
+  // dirty edge. A kill anywhere past this point leaves a manifest naming
+  // every possibly-torn tile; recover() replays exactly those (replaying
+  // an untouched one is an idempotent rewrite of identical bytes).
+  EpochManifest manifest;
+  manifest.generation = epochs_applied_ + 1;
+  for (std::uint32_t b = 0; b < bands; ++b) {
+    if (!band_dirty[b]) continue;
+    for (std::uint32_t c = 0; c < bands; ++c) {
+      if (band_dirty[c]) manifest.input_tiles.emplace_back(b, c);
+    }
+  }
+  for (std::uint32_t bi = 0; bi < bands; ++bi) {
+    for (std::uint32_t bj = bi; bj < bands; ++bj) {
+      if (band_dirty[bi] || band_dirty[bj]) {
+        manifest.sink_tiles.emplace_back(bi, bj);
+      }
+    }
+  }
+  const std::string manifest_path =
+      EpochManifest::path_for(sink_->path());
+  manifest.write(manifest_path);
+
+  // 2. Input repair. A changed entry (x, y) requires edge (x, y) updated,
   // and DelayStream dirties both endpoints — so a tile can only have
   // changed when BOTH its row band and its column band hold a dirty host.
   // The changed input tiles are precisely dirty_bands x dirty_bands;
   // repack each in place and drop any cached copy so the severity pass
   // below reads the post-epoch bytes. Tiles with one clean side are
   // byte-identical to a fresh build already and are not touched.
-  for (std::uint32_t b = 0; b < bands; ++b) {
-    if (!band_dirty[b]) continue;
-    for (std::uint32_t c = 0; c < bands; ++c) {
-      if (!band_dirty[c]) continue;
-      input_->repack_tile(matrix, b, c);
-      input_cache_->invalidate(b, c);
-      ++stats.input_tiles_repacked;
-    }
+  for (const auto& [b, c] : manifest.input_tiles) {
+    input_->repack_tile(matrix, b, c);
+    input_cache_->invalidate(b, c);
+    ++stats.input_tiles_repacked;
   }
 
-  // 2. Severity repair: recompute the edges incident to dirty hosts and
-  // commit the affected sink tiles.
-  const core::SinkRepairStats repair = core::repair_severities_to_sink(
-      *input_, *input_cache_, *sink_, dirty_hosts);
+  // 3. Severity repair: recompute the edges incident to dirty hosts and
+  // commit the affected sink tiles. Self-healing: a corrupt tile hit by
+  // the repair scan is rebuilt and the repair retried (recommitting a
+  // tile the aborted attempt already wrote is idempotent).
+  const core::SinkRepairStats repair = with_recovery([&] {
+    return core::repair_severities_to_sink(*input_, *input_cache_, *sink_,
+                                           dirty_hosts);
+  });
   stats.severity_tiles_committed = repair.tiles_committed;
   stats.edges_recomputed = repair.edges_recomputed;
 
-  // 3. Sink-cache coherence: drop every cached severity tile that can
+  // 4. Sink-cache coherence: drop every cached severity tile that can
   // contain a dirty edge (a superset of the tiles actually rewritten —
   // re-reading an unchanged tile is just a cold read).
-  for (std::uint32_t bi = 0; bi < bands; ++bi) {
-    for (std::uint32_t bj = bi; bj < bands; ++bj) {
-      if (band_dirty[bi] || band_dirty[bj]) sink_cache_->invalidate(bi, bj);
-    }
+  for (const auto& [bi, bj] : manifest.sink_tiles) {
+    sink_cache_->invalidate(bi, bj);
   }
+
+  // 5. Commit point: both stores are consistent, drop the journal.
+  EpochManifest::clear(manifest_path);
+  ++epochs_applied_;
   return stats;
 }
 

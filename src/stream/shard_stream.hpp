@@ -25,6 +25,22 @@
 // tracked memory stays within the configured input + output cache budgets
 // (worker-local O(tile^2) scratch excluded, as everywhere in the streaming
 // driver).
+//
+// Survivability (docs/RELIABILITY.md):
+//
+//   - Every tile read validates its checksum; a corrupt tile surfaces as
+//     shard::CorruptTileError carrying the store path and coordinates, and
+//     the engine *self-heals* instead of failing the query: a corrupt sink
+//     tile is rebuilt from its band pair of the (trusted) input store, a
+//     corrupt input tile is repacked from the attached live matrix
+//     (attach_source), and the interrupted operation retries. Healed-tile
+//     counts are in recovery_stats().
+//   - Epoch commits are crash-safe: apply_epoch journals the tiles it is
+//     about to rewrite (stream/epoch_manifest) before the first in-place
+//     write and clears the journal after the last. recover() reopens the
+//     stores of a killed process, replays exactly the journaled tiles, and
+//     converges to the state the completed epoch would have produced —
+//     bit-identical to the in-memory path.
 #pragma once
 
 #include <cstddef>
@@ -39,6 +55,10 @@
 #include "sink/severity_tile_store.hpp"
 #include "stream/delay_stream.hpp"
 
+namespace tiv::shard {
+class FaultInjector;
+}
+
 namespace tiv::stream {
 
 struct ShardStreamConfig {
@@ -51,7 +71,9 @@ struct ShardStreamConfig {
   std::size_t input_budget_bytes = std::size_t{4} << 20;
   std::size_t output_budget_bytes = std::size_t{4} << 20;
   /// Keep the on-disk stores when the engine is destroyed (default:
-  /// removed, like the budgeted analyzers' spill files).
+  /// removed, like the budgeted analyzers' spill files). Crash-recovery
+  /// harnesses set this so the files of a "killed" engine survive for
+  /// recover().
   bool keep_files = false;
 };
 
@@ -64,6 +86,25 @@ class ShardStreamEngine {
     std::size_t edges_recomputed = 0;
   };
 
+  /// Cumulative self-healing accounting, per store.
+  struct RecoveryStats {
+    /// Input tiles repacked from the attached source matrix after failing
+    /// their checksum.
+    std::size_t input_tiles_recovered = 0;
+    /// Sink tiles rebuilt from their band pair after failing their
+    /// checksum.
+    std::size_t sink_tiles_recovered = 0;
+    /// Operations retried after a (transient) injected/device read error.
+    std::size_t io_retries = 0;
+    /// Torn epochs found and replayed by recover().
+    std::size_t torn_epochs_replayed = 0;
+    /// Checksum mismatches absorbed by a clean re-read at the tile-file
+    /// layer (transient in-flight corruption; never reached the heal
+    /// path). Per store — see shard::TileFile::read_retries.
+    std::uint64_t input_read_retries = 0;
+    std::uint64_t sink_read_retries = 0;
+  };
+
   /// Spills `initial` to the input tile store, creates the severity sink,
   /// and runs the full out-of-core build once — the only O(n^3) step;
   /// every epoch after is proportional to the churn.
@@ -74,10 +115,25 @@ class ShardStreamEngine {
   ShardStreamEngine(const ShardStreamEngine&) = delete;
   ShardStreamEngine& operator=(const ShardStreamEngine&) = delete;
 
+  /// Reopens the stores a previous engine (same paths in `config`) left on
+  /// disk — after a crash or a clean shutdown with keep_files. Rejects a
+  /// file whose header geometry does not match (matrix.size(),
+  /// config.tile_dim). If a torn epoch manifest is present, replays it:
+  /// the journaled input tiles are repacked from `matrix` (which must be
+  /// the *post-epoch* matrix — DelayStream mutates it before apply_epoch
+  /// runs) and the journaled sink tiles are rebuilt from the repaired
+  /// input store, converging bit-identically to the completed epoch. The
+  /// matrix is retained as the attached source (see attach_source) and
+  /// must outlive the engine.
+  static ShardStreamEngine recover(const delayspace::DelayMatrix& matrix,
+                                   ShardStreamConfig config);
+
   /// Repairs input tiles and sink severities after an epoch that dirtied
   /// `dirty_hosts` (ascending, distinct — what DelayStream::commit_epoch
   /// returns). `matrix` must be the stream's mutated matrix (same size as
-  /// at construction).
+  /// at construction). Crash-safe: the tiles about to be rewritten are
+  /// journaled first, so a kill anywhere inside is recoverable via
+  /// recover().
   EpochStats apply_epoch(const delayspace::DelayMatrix& matrix,
                          std::span<const HostId> dirty_hosts);
 
@@ -90,22 +146,66 @@ class ShardStreamEngine {
   HostId size() const { return input_->size(); }
   std::uint32_t tile_dim() const { return input_->tile_dim(); }
 
-  /// Severity of edge (a, b), read through the budgeted sink cache —
-  /// synchronized to the last applied epoch.
-  float severity(HostId a, HostId b) { return sink_cache_->at(a, b); }
-  /// Severity row a (size() floats) through the sink cache.
-  void severity_row(HostId a, std::span<float> out) {
-    sink_cache_->read_row(a, out);
+  /// Attaches the live delay matrix as the repair source for corrupt
+  /// *input* tiles (DelayStream keeps the full matrix in RAM; only the
+  /// packed view and the severities are out-of-core). Without a source,
+  /// input corruption outside apply_epoch is unrecoverable and rethrows.
+  /// The matrix must outlive the engine or be detached (nullptr) first.
+  void attach_source(const delayspace::DelayMatrix* matrix) {
+    source_ = matrix;
   }
+
+  /// Severity of edge (a, b), read through the budgeted sink cache —
+  /// synchronized to the last applied epoch. Self-heals corrupt tiles
+  /// (see RecoveryStats).
+  float severity(HostId a, HostId b);
+  /// Severity row a (size() floats) through the sink cache. Self-healing.
+  void severity_row(HostId a, std::span<float> out);
+
+  /// Epochs applied so far (the generation number journaled by the next
+  /// epoch is epochs_applied() + 1).
+  std::uint64_t epochs_applied() const { return epochs_applied_; }
 
   shard::CacheStats input_cache_stats() const { return input_cache_->stats(); }
   shard::CacheStats output_cache_stats() const {
     return sink_cache_->stats();
   }
+  RecoveryStats recovery_stats() const {
+    RecoveryStats s = recovery_;
+    s.input_read_retries = input_->read_retries();
+    s.sink_read_retries = sink_->read_retries();
+    return s;
+  }
   const std::string& input_path() const { return input_->path(); }
   const std::string& sink_path() const { return sink_->path(); }
 
+  /// Attach deterministic fault injectors (shard/fault_injector.hpp) to
+  /// the two stores — the hook the soak tests and the recovery bench use.
+  /// Injectors must outlive the engine or be detached (nullptr) first.
+  void set_input_fault_injector(shard::FaultInjector* injector) {
+    input_->set_fault_injector(injector);
+  }
+  void set_sink_fault_injector(shard::FaultInjector* injector) {
+    sink_->set_fault_injector(injector);
+  }
+
  private:
+  struct RecoverTag {};
+  ShardStreamEngine(RecoverTag, const delayspace::DelayMatrix& matrix,
+                    ShardStreamConfig config);
+
+  /// Runs `fn`, healing CorruptTileError (rebuild/repack the named tile)
+  /// and retrying transient injected I/O errors, up to a bounded number of
+  /// recovery actions. Rethrows what it cannot heal.
+  template <typename Fn>
+  auto with_recovery(Fn&& fn) -> decltype(fn());
+
+  /// Heals one corrupt tile named by `e`, routing by store path: sink
+  /// tiles rebuild from the input store, input tiles repack from the
+  /// attached source. Rethrows `e` when it cannot (unknown path, no
+  /// source).
+  void heal(const shard::CorruptTileError& e);
+
   ShardStreamConfig config_;
   // Declaration order is lifetime order: caches hold references into their
   // stores and are destroyed first (reverse order).
@@ -113,6 +213,9 @@ class ShardStreamEngine {
   std::optional<shard::TileCache> input_cache_;
   std::optional<sink::SeverityTileStore> sink_;
   std::optional<sink::SeverityCache> sink_cache_;
+  const delayspace::DelayMatrix* source_ = nullptr;
+  std::uint64_t epochs_applied_ = 0;
+  RecoveryStats recovery_;
 };
 
 }  // namespace tiv::stream
