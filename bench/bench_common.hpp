@@ -23,6 +23,7 @@
 
 #include "delayspace/datasets.hpp"
 #include "delayspace/delay_matrix.hpp"
+#include "obs/metrics.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -219,6 +220,92 @@ class JsonArrayWriter {
   std::ostream& out_;
   bool first_ = true;
 };
+
+/// Embeds a registry metrics snapshot into a bench's JSON record stream:
+/// one flat {"section":"metrics",...} record per metric, so regressions in
+/// telemetry totals (I/O volume, cache hit rates, repair counts) are as
+/// diffable as the timing records. Pass a delta_since() snapshot to scope
+/// the records to one bench phase.
+inline void emit_metrics_json(JsonArrayWriter& json,
+                              const obs::MetricsSnapshot& snap) {
+  for (const auto& [name, value] : snap.counters) {
+    json.object()
+        .field("section", std::string("metrics"))
+        .field("kind", std::string("counter"))
+        .field("name", name)
+        .field("value", value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    json.object()
+        .field("section", std::string("metrics"))
+        .field("kind", std::string("gauge"))
+        .field("name", name)
+        .field("value", value);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    json.object()
+        .field("section", std::string("metrics"))
+        .field("kind", std::string("histogram"))
+        .field("name", name)
+        .field("count", h.count)
+        .field("sum", h.sum)
+        .field("mean", h.mean(), 1)
+        .field("p50", h.quantile(0.5), 1)
+        .field("p90", h.quantile(0.9), 1)
+        .field("p99", h.quantile(0.99), 1);
+  }
+}
+
+/// JSON twin of print_cdfs_on_grid: one record per (series, x) with the
+/// fraction at-most x — the orientation the paper's CDF figures use.
+inline void emit_cdf_grid_json(JsonArrayWriter& json,
+                               const std::string& section,
+                               const std::vector<std::string>& names,
+                               const std::vector<Cdf>& cdfs,
+                               const std::vector<double>& grid,
+                               int x_decimals = 3) {
+  for (std::size_t s = 0; s < names.size(); ++s) {
+    for (const double x : grid) {
+      json.object()
+          .field("section", section)
+          .field("series", names[s])
+          .field("x", x, x_decimals)
+          .field("fraction", cdfs[s].fraction_at_most(x), 4);
+    }
+  }
+}
+
+/// JSON twin of print_cdfs_by_quantile: one record per (series, quantile).
+inline void emit_cdf_quantiles_json(JsonArrayWriter& json,
+                                    const std::string& section,
+                                    const std::vector<std::string>& names,
+                                    const std::vector<Cdf>& cdfs) {
+  for (std::size_t s = 0; s < names.size(); ++s) {
+    if (cdfs[s].empty()) continue;
+    for (const double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.00}) {
+      json.object()
+          .field("section", section)
+          .field("series", names[s])
+          .field("quantile", q, 2)
+          .field("value", cdfs[s].quantile(q), 4);
+    }
+  }
+}
+
+/// JSON twin of print_bins: one record per bin with the error-bar stats.
+inline void emit_bins_json(JsonArrayWriter& json, const std::string& section,
+                           const std::vector<Bin>& bins, int x_decimals = 2) {
+  for (const Bin& b : bins) {
+    json.object()
+        .field("section", section)
+        .field("x", b.x_center, x_decimals)
+        .field("p10", b.p10, 4)
+        .field("median", b.median, 4)
+        .field("p90", b.p90, 4)
+        .field("mean", b.mean, 4)
+        .field("count", b.count);
+  }
+}
 
 /// Synthetic uniform-random RTT matrix for the kernel benches: cost
 /// depends only on n and the missing pattern, and this keeps large-n

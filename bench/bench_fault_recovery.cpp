@@ -23,6 +23,13 @@
 // path (not a silent full rebuild) produced the bytes. Exit status is
 // nonzero when a property fails, so a smoke run turns CI red on its own.
 //
+// Each record also reports recovery_action_ms — the span tracer's total of
+// "recovery-action" spans (manifest replay plus every lazy tile heal), the
+// recovery work alone without the surrounding clean readback — and the
+// record stream ends with the registry's metrics snapshot
+// ({"section":"metrics",...}: fault.injected_* vs engine.recovery.* shows
+// what was thrown at the storage layer and what the healing absorbed).
+//
 // Flags:
 //   --quick              reduced scale (CI smoke run)
 //   --hosts=N            matrix size (default 384; 128 quick)
@@ -48,6 +55,8 @@
 #include "bench_common.hpp"
 #include "core/severity.hpp"
 #include "core/shard_severity.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "shard/fault_injector.hpp"
 #include "shard/tile_cache.hpp"
 #include "shard/tile_store.hpp"
@@ -162,6 +171,9 @@ int main(int argc, char** argv) {
   const std::vector<double> rot_fractions =
       quick ? std::vector<double>{0.05} : std::vector<double>{0.01, 0.02, 0.05};
 
+  tiv::obs::SpanTracer tracer(1 << 14);
+  tiv::obs::SpanTracer::attach(&tracer);
+
   bool ok = true;
   {
     tiv::bench::JsonArrayWriter json(std::cout);
@@ -216,10 +228,14 @@ int main(int argc, char** argv) {
       // Recovery: reopen + one full readback. Every rotted tile fails its
       // checksum on first touch and is rebuilt in place.
       cfg.keep_files = false;  // recovery engine owns cleanup
+      const std::uint64_t heal_ns0 = tracer.total_ns("recovery-action");
       const auto t0 = std::chrono::steady_clock::now();
       auto engine = ShardStreamEngine::recover(matrix, cfg);
       const std::size_t mismatches = bit_mismatches(engine, want);
       const auto t1 = std::chrono::steady_clock::now();
+      const double heal_ms =
+          static_cast<double>(tracer.total_ns("recovery-action") - heal_ns0) /
+          1e6;
       const double recovery_ms =
           std::chrono::duration<double, std::milli>(t1 - t0).count();
       // Second full readback over the now-healed store: the no-fault floor.
@@ -242,6 +258,7 @@ int main(int argc, char** argv) {
           .field("sink_tiles_recovered", rec.sink_tiles_recovered)
           .field("input_tiles_recovered", rec.input_tiles_recovered)
           .field("recovery_ms", recovery_ms, 3)
+          .field("recovery_action_ms", heal_ms, 3)
           .field("clean_readback_ms", clean_ms, 3)
           .field("full_rebuild_ms", rebuild_ms, 3)
           .field("speedup_vs_rebuild",
@@ -300,11 +317,15 @@ int main(int argc, char** argv) {
       const SeverityMatrix want =
           TivAnalyzer(stream.matrix()).all_severities();
       cfg.keep_files = false;
+      const std::uint64_t heal_ns0 = tracer.total_ns("recovery-action");
       const auto t0 = std::chrono::steady_clock::now();
       auto engine = ShardStreamEngine::recover(stream.matrix(), cfg);
       const auto t1 = std::chrono::steady_clock::now();
       const double recover_ms =
           std::chrono::duration<double, std::milli>(t1 - t0).count();
+      const double heal_ms =
+          static_cast<double>(tracer.total_ns("recovery-action") - heal_ns0) /
+          1e6;
       const std::size_t mismatches = bit_mismatches(engine, want);
 
       const double rebuild_ms =
@@ -322,12 +343,17 @@ int main(int argc, char** argv) {
           .field_bool("crash_injected", crashed)
           .field("torn_epochs_replayed", rec.torn_epochs_replayed)
           .field("recover_ms", recover_ms, 3)
+          .field("recovery_action_ms", heal_ms, 3)
           .field("full_rebuild_ms", rebuild_ms, 3)
           .field("speedup_vs_rebuild",
                  recover_ms > 0.0 ? rebuild_ms / recover_ms : 0.0, 2)
           .field_bool("recovered_cheaper", cheaper)
           .field("bit_mismatches", mismatches);
     }
+    tiv::bench::emit_metrics_json(json,
+                                  tiv::obs::MetricsRegistry::instance()
+                                      .snapshot());
   }
+  tiv::obs::SpanTracer::attach(nullptr);
   return ok ? 0 : 1;
 }

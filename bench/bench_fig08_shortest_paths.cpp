@@ -17,9 +17,11 @@
 
 namespace {
 
-void emit_bins_json(tiv::bench::JsonArrayWriter& json,
-                    const std::string& section,
-                    const std::vector<tiv::Bin>& bins) {
+// Local variant of bench_common's emit_bins_json keeping fig08's original
+// "delay_ms" x-key (the shared helper emits a generic "x").
+void emit_delay_bins_json(tiv::bench::JsonArrayWriter& json,
+                          const std::string& section,
+                          const std::vector<tiv::Bin>& bins) {
   for (const tiv::Bin& b : bins) {
     json.object()
         .field("section", section)
@@ -69,8 +71,8 @@ int main(int argc, char** argv) {
         .field("hosts", m.size())
         .field("clusters", clustering.num_clusters())
         .field("measured_pairs", m.measured_pair_count());
-    emit_bins_json(json, "within_cluster_bin", within.bins());
-    emit_bins_json(json, "shortest_path_bin", shortest.bins());
+    emit_delay_bins_json(json, "within_cluster_bin", within.bins());
+    emit_delay_bins_json(json, "shortest_path_bin", shortest.bins());
     return 0;
   }
   print_bins("Figure 8 (top): fraction of within-cluster edges vs delay",

@@ -3,7 +3,11 @@
 // disabled) on (a) an artificial Euclidean matrix and (b) the DS^2-like
 // matrix. Paper shape: near-perfect on Euclidean data; on measured data
 // TIVs leave ~13% of queries short of the true nearest node.
+//
+// --json emits flat records (sections: config, cdf, summary) for
+// machine-checkable regressions.
 #include <iostream>
+#include <optional>
 
 #include "bench_common.hpp"
 #include "delayspace/euclidean.hpp"
@@ -40,10 +44,36 @@ int main(int argc, char** argv) {
   p.meridian.use_termination = false;
   p.meridian.beta = 0.5;
 
-  std::cout << "hosts: " << n << ", overlay nodes: " << m_nodes
-            << ", runs: " << runs << " (idealized settings)\n";
+  if (!cfg.json) {
+    std::cout << "hosts: " << n << ", overlay nodes: " << m_nodes
+              << ", runs: " << runs << " (idealized settings)\n";
+  }
   const auto r_euclid = neighbor::run_meridian_experiment(euclid, p);
   const auto r_ds2 = neighbor::run_meridian_experiment(space.measured, p);
+
+  if (cfg.json) {
+    JsonArrayWriter json(std::cout);
+    json.object()
+        .field("section", std::string("config"))
+        .field("hosts", n)
+        .field("overlay_nodes", m_nodes)
+        .field("runs", runs);
+    emit_cdf_grid_json(json, "cdf",
+                       {"Meridian-Euclidean-data", "Meridian-DS2-data"},
+                       {r_euclid.penalties, r_ds2.penalties},
+                       log_grid(1.0, 10000.0), 0);
+    for (const auto& [name, r] :
+         {std::pair<std::string, const neighbor::MeridianExperimentResult&>{
+              "Euclidean", r_euclid},
+          {"DS2", r_ds2}}) {
+      json.object()
+          .field("section", std::string("summary"))
+          .field("dataset", name)
+          .field("fraction_optimal_found", r.fraction_optimal_found, 4)
+          .field("probes_per_query", r.probes_per_query(), 1);
+    }
+    return 0;
+  }
 
   print_cdfs_on_grid(
       "Figure 14: Meridian penalty CDF, idealized settings",

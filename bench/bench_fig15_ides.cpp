@@ -1,6 +1,9 @@
 // Figure 15: neighbor-selection penalty CDF of IDES (matrix-factorization
 // coordinates) vs original Vivaldi, DS^2. Paper shape: IDES — despite being
 // able to represent TIVs — is WORSE than Vivaldi at neighbor selection.
+//
+// --json emits flat records (sections: config, cdf, quantiles) for
+// machine-checkable regressions.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -37,8 +40,10 @@ int main(int argc, char** argv) {
   sp.runs = runs;
   sp.seed = 77 ^ cfg.seed;
   const neighbor::SelectionExperiment exp(space.measured, sp);
-  std::cout << "hosts: " << n << ", candidates: " << sp.num_candidates
-            << ", runs: " << runs << "\n";
+  if (!cfg.json) {
+    std::cout << "hosts: " << n << ", candidates: " << sp.num_candidates
+              << ", runs: " << runs << "\n";
+  }
 
   const Cdf cdf_ides = exp.run([&ides](delayspace::HostId a,
                                        delayspace::HostId b) {
@@ -48,6 +53,20 @@ int main(int argc, char** argv) {
       [&vivaldi](delayspace::HostId a, delayspace::HostId b) {
         return vivaldi.predicted(a, b);
       });
+
+  if (cfg.json) {
+    JsonArrayWriter json(std::cout);
+    json.object()
+        .field("section", std::string("config"))
+        .field("hosts", n)
+        .field("candidates", sp.num_candidates)
+        .field("runs", runs);
+    const std::vector<std::string> names{"IDES", "Vivaldi-original"};
+    const std::vector<Cdf> cdfs{cdf_ides, cdf_vivaldi};
+    emit_cdf_grid_json(json, "cdf", names, cdfs, log_grid(1.0, 10000.0), 0);
+    emit_cdf_quantiles_json(json, "quantiles", names, cdfs);
+    return 0;
+  }
 
   print_cdfs_on_grid("Figure 15: neighbor selection, IDES vs Vivaldi",
                      {"IDES", "Vivaldi-original"}, {cdf_ides, cdf_vivaldi},

@@ -2,6 +2,9 @@
 // Adjustment Term vs original Vivaldi, DS^2. Paper shape: LAT is only
 // marginally different — aggregate-accuracy fixes do not fix neighbor
 // selection.
+//
+// --json emits flat records (sections: config, cdf, quantiles,
+// aggregate_error) for machine-checkable regressions.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -32,8 +35,10 @@ int main(int argc, char** argv) {
   sp.runs = runs;
   sp.seed = 77 ^ cfg.seed;
   const neighbor::SelectionExperiment exp(space.measured, sp);
-  std::cout << "hosts: " << n << ", candidates: " << sp.num_candidates
-            << ", runs: " << runs << "\n";
+  if (!cfg.json) {
+    std::cout << "hosts: " << n << ", candidates: " << sp.num_candidates
+              << ", runs: " << runs << "\n";
+  }
 
   const Cdf cdf_lat =
       exp.run([&](delayspace::HostId a, delayspace::HostId b) {
@@ -43,13 +48,6 @@ int main(int argc, char** argv) {
       exp.run([&](delayspace::HostId a, delayspace::HostId b) {
         return vivaldi.predicted(a, b);
       });
-
-  print_cdfs_on_grid("Figure 16: neighbor selection, Vivaldi+LAT vs Vivaldi",
-                     {"Vivaldi-with-LAT", "Vivaldi-original"},
-                     {cdf_lat, cdf_vivaldi}, log_grid(1.0, 10000.0), cfg, 0);
-  print_cdfs_by_quantile("Figure 16 (quantile view)",
-                         {"Vivaldi-with-LAT", "Vivaldi-original"},
-                         {cdf_lat, cdf_vivaldi}, cfg);
 
   // Aggregate prediction accuracy, for contrast: LAT helps here even though
   // it does not help neighbor selection.
@@ -63,6 +61,32 @@ int main(int argc, char** argv) {
     if (i == j || !space.measured.has(i, j)) continue;
     lat_acc.add(lat.predicted(vivaldi, i, j), space.measured.at(i, j));
   }
+
+  if (cfg.json) {
+    JsonArrayWriter json(std::cout);
+    json.object()
+        .field("section", std::string("config"))
+        .field("hosts", n)
+        .field("candidates", sp.num_candidates)
+        .field("runs", runs);
+    const std::vector<std::string> names{"Vivaldi-with-LAT",
+                                         "Vivaldi-original"};
+    const std::vector<Cdf> cdfs{cdf_lat, cdf_vivaldi};
+    emit_cdf_grid_json(json, "cdf", names, cdfs, log_grid(1.0, 10000.0), 0);
+    emit_cdf_quantiles_json(json, "quantiles", names, cdfs);
+    json.object()
+        .field("section", std::string("aggregate_error"))
+        .field("vivaldi_median_abs_ms", plain_err.median, 2)
+        .field("lat_median_abs_ms", lat_acc.absolute_error().median, 2);
+    return 0;
+  }
+
+  print_cdfs_on_grid("Figure 16: neighbor selection, Vivaldi+LAT vs Vivaldi",
+                     {"Vivaldi-with-LAT", "Vivaldi-original"},
+                     {cdf_lat, cdf_vivaldi}, log_grid(1.0, 10000.0), cfg, 0);
+  print_cdfs_by_quantile("Figure 16 (quantile view)",
+                         {"Vivaldi-with-LAT", "Vivaldi-original"},
+                         {cdf_lat, cdf_vivaldi}, cfg);
   std::cout << "\naggregate median abs error: Vivaldi="
             << format_double(plain_err.median, 1)
             << " ms, Vivaldi+LAT="

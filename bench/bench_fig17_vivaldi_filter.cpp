@@ -2,6 +2,9 @@
 // TIV severity from Vivaldi's neighbor selection. Paper shape: only a
 // marginal improvement; TIV is too widespread for outlier removal to fix
 // the embedding.
+//
+// --json emits flat records (sections: config, cdf, quantiles) for
+// machine-checkable regressions.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -22,14 +25,18 @@ int main(int argc, char** argv) {
 
   const auto space = make_space(delayspace::DatasetId::kDs2, cfg);
   const auto n = space.measured.size();
-  std::cout << "computing all-edge severities (global knowledge) for " << n
-            << " hosts...\n";
+  if (!cfg.json) {
+    std::cout << "computing all-edge severities (global knowledge) for " << n
+              << " hosts...\n";
+  }
   const core::SeverityMatrix sev =
       core::TivAnalyzer(space.measured).all_severities();
   const core::SeverityFilter filter(space.measured, sev, worst);
-  std::cout << "filtered " << filter.filtered_count()
-            << " edges (severity >= "
-            << format_double(filter.cutoff_severity(), 3) << ")\n";
+  if (!cfg.json) {
+    std::cout << "filtered " << filter.filtered_count()
+              << " edges (severity >= "
+              << format_double(filter.cutoff_severity(), 3) << ")\n";
+  }
 
   embedding::VivaldiParams vp;
   vp.seed = 3 ^ cfg.seed;
@@ -54,6 +61,23 @@ int main(int argc, char** argv) {
       exp.run([&](delayspace::HostId a, delayspace::HostId b) {
         return filtered.predicted(a, b);
       });
+
+  if (cfg.json) {
+    JsonArrayWriter json(std::cout);
+    json.object()
+        .field("section", std::string("config"))
+        .field("hosts", n)
+        .field("worst_fraction", worst, 3)
+        .field("filtered_edges", filter.filtered_count())
+        .field("cutoff_severity", filter.cutoff_severity(), 4)
+        .field("runs", runs);
+    const std::vector<std::string> names{"Vivaldi-original",
+                                         "Vivaldi-TIV-severity-filter"};
+    const std::vector<Cdf> cdfs{cdf_orig, cdf_filt};
+    emit_cdf_grid_json(json, "cdf", names, cdfs, log_grid(1.0, 10000.0), 0);
+    emit_cdf_quantiles_json(json, "quantiles", names, cdfs);
+    return 0;
+  }
 
   print_cdfs_on_grid(
       "Figure 17: Vivaldi with global TIV-severity filter (worst " +

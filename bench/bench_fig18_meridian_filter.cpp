@@ -2,6 +2,9 @@
 // construction. Paper shape: the filter actively DEGRADES Meridian — the
 // removed edges were needed for query routing, leaving rings under-
 // populated (up to 50% in the paper).
+//
+// --json emits flat records (sections: config, cdf, ring_occupancy) for
+// machine-checkable regressions.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -21,7 +24,9 @@ int main(int argc, char** argv) {
 
   const auto space = make_space(delayspace::DatasetId::kDs2, cfg);
   const auto n = space.measured.size();
-  std::cout << "computing all-edge severities for " << n << " hosts...\n";
+  if (!cfg.json) {
+    std::cout << "computing all-edge severities for " << n << " hosts...\n";
+  }
   const core::SeverityMatrix sev =
       core::TivAnalyzer(space.measured).all_severities();
   const core::SeverityFilter filter(space.measured, sev, worst);
@@ -41,14 +46,16 @@ int main(int argc, char** argv) {
   const auto with_filter =
       neighbor::run_meridian_experiment(space.measured, p);
 
-  print_cdfs_on_grid(
-      "Figure 18: Meridian with global TIV-severity filter",
-      {"Meridian-original", "Meridian-TIV-severity-filter"},
-      {original.penalties, with_filter.penalties}, log_grid(1.0, 10000.0),
-      cfg, 0);
+  if (!cfg.json) {
+    print_cdfs_on_grid(
+        "Figure 18: Meridian with global TIV-severity filter",
+        {"Meridian-original", "Meridian-TIV-severity-filter"},
+        {original.penalties, with_filter.penalties}, log_grid(1.0, 10000.0),
+        cfg, 0);
 
-  // Demonstrate the ring under-population mechanism.
-  print_section(std::cout, "Ring occupancy (one run's overlay, summed)");
+    // Demonstrate the ring under-population mechanism.
+    print_section(std::cout, "Ring occupancy (one run's overlay, summed)");
+  }
   std::vector<delayspace::HostId> overlay_nodes;
   for (delayspace::HostId i = 0; i < n / 2; ++i) overlay_nodes.push_back(i);
   meridian::MeridianParams mp;
@@ -57,6 +64,29 @@ int main(int argc, char** argv) {
   const meridian::MeridianOverlay pruned(space.measured, overlay_nodes, mp);
   const auto occ_a = plain.ring_occupancy();
   const auto occ_b = pruned.ring_occupancy();
+
+  if (cfg.json) {
+    JsonArrayWriter json(std::cout);
+    json.object()
+        .field("section", std::string("config"))
+        .field("hosts", n)
+        .field("worst_fraction", worst, 3)
+        .field("runs", runs);
+    emit_cdf_grid_json(json, "cdf",
+                       {"Meridian-original", "Meridian-TIV-severity-filter"},
+                       {original.penalties, with_filter.penalties},
+                       log_grid(1.0, 10000.0), 0);
+    for (std::size_t r = 1; r < occ_a.size(); ++r) {
+      if (occ_a[r] == 0) continue;
+      json.object()
+          .field("section", std::string("ring_occupancy"))
+          .field("ring", r)
+          .field("members_original", occ_a[r])
+          .field("members_filtered", occ_b[r]);
+    }
+    return 0;
+  }
+
   Table table({"ring", "members (original)", "members (filtered)", "loss %"});
   for (std::size_t r = 1; r < occ_a.size(); ++r) {
     if (occ_a[r] == 0) continue;

@@ -3,6 +3,9 @@
 // Paper shape: severely shrunk edges (ratio << 1) carry high severity;
 // severity falls as the ratio rises and is ~0 beyond ratio 2. Huge spread
 // within each bin — a heuristic alarm, not a severity predictor.
+//
+// --json emits flat records (sections: config, bins) for machine-checkable
+// regressions.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -24,8 +27,10 @@ int main(int argc, char** argv) {
   embedding::VivaldiParams vp;
   vp.seed = 3 ^ cfg.seed;
   embedding::VivaldiSystem vivaldi(space.measured, vp);
-  std::cout << "embedding " << space.measured.size() << " hosts for "
-            << warmup << " s...\n";
+  if (!cfg.json) {
+    std::cout << "embedding " << space.measured.size() << " hosts for "
+              << warmup << " s...\n";
+  }
   vivaldi.run(warmup);
 
   const auto ratio_samples =
@@ -34,6 +39,18 @@ int main(int argc, char** argv) {
   for (const auto& s : ratio_samples) {
     if (!std::isnan(s.ratio)) series.add(s.ratio, s.severity);
   }
+
+  if (cfg.json) {
+    JsonArrayWriter json(std::cout);
+    json.object()
+        .field("section", std::string("config"))
+        .field("hosts", space.measured.size())
+        .field("edge_samples", samples)
+        .field("warmup_s", warmup);
+    emit_bins_json(json, "bins", series.bins(), 2);
+    return 0;
+  }
+
   print_bins("Figure 19: TIV severity vs prediction ratio (0.1 bins)",
              series.bins(), cfg, 2);
   return 0;

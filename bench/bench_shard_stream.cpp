@@ -14,6 +14,14 @@
 // quotes. Exit status is nonzero when a property fails, so a smoke run
 // turns CI red on its own.
 //
+// Apply-path timings come from the span tracer (docs/OBSERVABILITY.md) —
+// the per-record repair_epoch_ms is the mean "epoch" span, with the
+// tile-repack / band-pair-stream / sink-commit split reported alongside —
+// so the bench's numbers are the same spans a trace capture shows. The
+// record stream ends with the registry's metrics snapshot
+// ({"section":"metrics",...} records: I/O volume, cache traffic, pool
+// utilization for the whole run).
+//
 // Flags:
 //   --quick                reduced scale (CI smoke run)
 //   --hosts=N              matrix size (default 512; 128 quick)
@@ -40,6 +48,8 @@
 #include "bench_common.hpp"
 #include "core/severity.hpp"
 #include "core/shard_severity.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "shard/tile_cache.hpp"
 #include "shard/tile_store.hpp"
 #include "sink/severity_tile_store.hpp"
@@ -147,6 +157,11 @@ int main(int argc, char** argv) {
       quick ? std::vector<double>{0.02, 0.2}
             : std::vector<double>{0.004, 0.01, 0.05, 0.2};
 
+  // Span totals, not spot timers, time the apply path (the rebuild
+  // baselines below keep time_ms — they are not instrumented phases).
+  tiv::obs::SpanTracer tracer(1 << 14);
+  tiv::obs::SpanTracer::attach(&tracer);
+
   bool ok = true;
   {
     tiv::bench::JsonArrayWriter json(std::cout);
@@ -169,16 +184,28 @@ int main(int argc, char** argv) {
       std::size_t tiles_repacked = 0;
       std::size_t sev_tiles_committed = 0;
       std::size_t edges_recomputed = 0;
-      double apply_ms = 0.0;
+      const std::uint64_t epoch_ns0 = tracer.total_ns("epoch");
+      const std::uint64_t repack_ns0 = tracer.total_ns("tile-repack");
+      const std::uint64_t band_ns0 = tracer.total_ns("band-pair-stream");
+      const std::uint64_t commit_ns0 = tracer.total_ns("sink-commit");
       for (int e = 0; e < epochs; ++e) {
         replay_churn_epoch(stream, rng, dirty_target, double(e));
-        apply_ms += time_ms([&] {
-          const auto stats = engine->apply_epoch(stream);
-          tiles_repacked += stats.input_tiles_repacked;
-          sev_tiles_committed += stats.severity_tiles_committed;
-          edges_recomputed += stats.edges_recomputed;
-        });
+        const auto stats = engine->apply_epoch(stream);
+        tiles_repacked += stats.input_tiles_repacked;
+        sev_tiles_committed += stats.severity_tiles_committed;
+        edges_recomputed += stats.edges_recomputed;
       }
+      const double apply_ms =
+          static_cast<double>(tracer.total_ns("epoch") - epoch_ns0) / 1e6;
+      const double repack_ms =
+          static_cast<double>(tracer.total_ns("tile-repack") - repack_ns0) /
+          1e6;
+      const double band_ms =
+          static_cast<double>(tracer.total_ns("band-pair-stream") - band_ns0) /
+          1e6;
+      const double commit_ms =
+          static_cast<double>(tracer.total_ns("sink-commit") - commit_ns0) /
+          1e6;
 
       // Full out-of-core rebuild of the final matrix — what every epoch
       // would cost without the dirty-tile repair path: fresh input spill +
@@ -222,6 +249,9 @@ int main(int argc, char** argv) {
           .field("severity_tiles_committed", sev_tiles_committed)
           .field("edges_recomputed", edges_recomputed)
           .field("repair_epoch_ms", repair_epoch_ms, 3)
+          .field("tile_repack_ms", repack_ms / epochs, 3)
+          .field("band_pair_stream_ms", band_ms / epochs, 3)
+          .field("sink_commit_ms", commit_ms / epochs, 3)
           .field("oocore_rebuild_ms", rebuild_ms, 3)
           .field("speedup_vs_oocore_rebuild",
                  repair_epoch_ms > 0.0 ? rebuild_ms / repair_epoch_ms : 0.0,
@@ -238,6 +268,10 @@ int main(int argc, char** argv) {
           .field_bool("peak_within_budget", within_budget)
           .field("bit_mismatches", mismatches);
     }
+    tiv::bench::emit_metrics_json(json,
+                                  tiv::obs::MetricsRegistry::instance()
+                                      .snapshot());
   }
+  tiv::obs::SpanTracer::attach(nullptr);
   return ok ? 0 : 1;
 }

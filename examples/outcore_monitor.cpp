@@ -21,15 +21,27 @@
 // --inject-bitflips=K to flip one bit on every K-th tile read of both
 // stores (the deterministic fault injector) and watch the healing happen.
 //
+// Telemetry (docs/OBSERVABILITY.md): every round ends with a one-line
+// digest of per-phase wall clock, taken from the span tracer rather than
+// ad-hoc timers, so the printed numbers are the same spans a --trace-out
+// capture shows. --metrics-out=FILE appends one JSONL metrics snapshot
+// (deltas since the previous line) per round; --trace-out=FILE dumps the
+// whole run as Chrome trace_event JSON loadable in about://tracing.
+//
 //   ./outcore_monitor [--hosts=200] [--rounds=6] [--seed=1]
 //                     [--inject-bitflips=K]
+//                     [--metrics-out=FILE] [--trace-out=FILE]
 #include <algorithm>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <vector>
 
 #include "delayspace/datasets.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "shard/fault_injector.hpp"
 #include "stream/delay_stream.hpp"
 #include "stream/shard_stream.hpp"
@@ -37,6 +49,36 @@
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// Retained-span totals for the digest line; sampled per round so each
+/// line shows that round's delta.
+struct PhaseTotals {
+  std::uint64_t ingest = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t repack = 0;
+  std::uint64_t band = 0;
+  std::uint64_t commit = 0;
+};
+
+PhaseTotals sample_phases(const tiv::obs::SpanTracer& tracer) {
+  PhaseTotals t;
+  t.ingest = tracer.total_ns("ingest");
+  t.epoch = tracer.total_ns("epoch");
+  t.repack = tracer.total_ns("tile-repack");
+  t.band = tracer.total_ns("band-pair-stream");
+  t.commit = tracer.total_ns("sink-commit");
+  return t;
+}
+
+double ms(std::uint64_t later_ns, std::uint64_t earlier_ns) {
+  return later_ns >= earlier_ns
+             ? static_cast<double>(later_ns - earlier_ns) / 1e6
+             : 0.0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tiv;
@@ -47,7 +89,25 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const auto inject_k =
       static_cast<std::uint32_t>(flags.get_int("inject-bitflips", 0));
+  const std::string metrics_path = flags.get_string("metrics-out", "");
+  const std::string trace_path = flags.get_string("trace-out", "");
   reject_unknown_flags(flags);
+
+  // The tracer powers both the per-round digest and --trace-out, so it is
+  // always attached; 2^16 slots hold every span of a typical run.
+  obs::SpanTracer tracer(1 << 16);
+  obs::SpanTracer::attach(&tracer);
+
+  std::ofstream metrics_file;
+  std::optional<obs::SnapshotReporter> reporter;
+  if (!metrics_path.empty()) {
+    metrics_file.open(metrics_path);
+    if (!metrics_file) {
+      std::cerr << "cannot open --metrics-out file: " << metrics_path << "\n";
+      return 1;
+    }
+    reporter.emplace(metrics_file);
+  }
 
   // The "network": a DS^2-like delay space whose matrix seeds the stream.
   auto params = delayspace::dataset_params(delayspace::DatasetId::kDs2, hosts);
@@ -111,6 +171,8 @@ int main(int argc, char** argv) {
                "out peak KiB", "worst edge", "severity"});
   std::vector<float> row(n);
   auto last_rec = monitor.recovery_stats();
+  auto last_phases = sample_phases(tracer);
+  auto last_snap = obs::MetricsRegistry::instance().snapshot();
   for (int round = 1; round <= rounds; ++round) {
     // Re-measure ~2% of hosts' edges: noise around the true delay with a
     // 5% outage / recovery mix (measured<->missing churn).
@@ -190,6 +252,46 @@ int main(int argc, char** argv) {
                 << " I/O retr" << (retried == 1 ? "y" : "ies") << "\n";
     }
     last_rec = rec;
+
+    // Telemetry digest: phase wall clock from the tracer's spans (the same
+    // numbers a --trace-out capture renders) plus the round's I/O and
+    // cache-hit deltas from the registry.
+    const auto phases = sample_phases(tracer);
+    const auto snap = obs::MetricsRegistry::instance().snapshot();
+    const auto delta = snap.delta_since(last_snap);
+    const auto counter = [&delta](const char* name) -> std::uint64_t {
+      const auto it = delta.counters.find(name);
+      return it == delta.counters.end() ? 0 : it->second;
+    };
+    const std::uint64_t hits =
+        counter("cache.input.hits") + counter("cache.sink.hits");
+    const std::uint64_t misses =
+        counter("cache.input.misses") + counter("cache.sink.misses");
+    const double hit_pct =
+        hits + misses == 0
+            ? 100.0
+            : 100.0 * static_cast<double>(hits) /
+                  static_cast<double>(hits + misses);
+    std::cout << "[round " << round << "] phases: ingest "
+              << format_double(ms(phases.ingest, last_phases.ingest), 2)
+              << " ms, epoch "
+              << format_double(ms(phases.epoch, last_phases.epoch), 2)
+              << " ms (repack "
+              << format_double(ms(phases.repack, last_phases.repack), 2)
+              << ", band-stream "
+              << format_double(ms(phases.band, last_phases.band), 2)
+              << ", commit "
+              << format_double(ms(phases.commit, last_phases.commit), 2)
+              << ") | io: read "
+              << (counter("shard.input.read_bytes") +
+                  counter("shard.sink.read_bytes")) / 1024
+              << " KiB, wrote "
+              << (counter("shard.input.write_bytes") +
+                  counter("shard.sink.write_bytes")) / 1024
+              << " KiB | cache hit " << format_double(hit_pct, 1) << "%\n";
+    last_phases = phases;
+    last_snap = snap;
+    if (reporter) reporter->report_now("round-" + std::to_string(round));
   }
   table.print(std::cout);
   std::cout << "\nEach round repaired only the dirty input tiles and the "
@@ -200,5 +302,21 @@ int main(int argc, char** argv) {
             << static_cast<std::size_t>(n) * n * 2 * sizeof(float) / 1024
             << " KiB of matrix + severity state.\n"
             << "(spill files are removed when the engine is destroyed)\n";
+
+  obs::SpanTracer::attach(nullptr);
+  if (!trace_path.empty()) {
+    std::ofstream trace_file(trace_path);
+    if (!trace_file) {
+      std::cerr << "cannot open --trace-out file: " << trace_path << "\n";
+      return 1;
+    }
+    tracer.write_chrome_trace(trace_file);
+    std::cout << "trace: " << tracer.events().size() << " span(s) written to "
+              << trace_path << " (load in about://tracing or perfetto.dev)\n";
+  }
+  if (!metrics_path.empty()) {
+    std::cout << "metrics: " << rounds << " JSONL snapshot(s) written to "
+              << metrics_path << "\n";
+  }
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "core/triangle_schedule.hpp"
 #include "core/witness_kernels.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace tiv::core {
@@ -269,6 +270,7 @@ void check_sink_matches(const TileStore& store,
 void all_severities_to_sink(const TileStore& store, TileCache& cache,
                             sink::SeverityTileStore& sink) {
   check_sink_matches(store, sink);
+  obs::Span span("band-pair-stream");
   for_each_band_pair(store.tiles_per_side(),
                      [&](std::uint32_t bi, std::uint32_t bj) {
                        process_band_pair_to_sink(store, cache, sink, bi, bj,
@@ -303,6 +305,7 @@ SinkRepairStats repair_severities_to_sink(
   }
   const std::vector<std::uint8_t> clean(T, 0);
 
+  obs::Span span("band-pair-stream");
   std::atomic<std::size_t> recomputed{0};
   std::atomic<std::size_t> committed{0};
   for_each_band_pair(bands, [&](std::uint32_t bi, std::uint32_t bj) {

@@ -1,0 +1,61 @@
+#include "obs/report.hpp"
+
+namespace tiv::obs {
+
+SnapshotReporter::SnapshotReporter(std::ostream& out, Options opts)
+    : out_(out), opts_(opts), start_time_(std::chrono::steady_clock::now()) {}
+
+SnapshotReporter::~SnapshotReporter() { stop(); }
+
+void SnapshotReporter::report_now(std::string_view label) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  emit_locked(label);
+}
+
+void SnapshotReporter::emit_locked(std::string_view label) {
+  const MetricsSnapshot now = MetricsRegistry::instance().snapshot();
+  const MetricsSnapshot line = opts_.cumulative ? now : now.delta_since(last_);
+  last_ = now;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start_time_);
+  out_ << "{\"seq\":" << seq_++ << ",\"elapsed_ms\":" << elapsed.count();
+  if (!label.empty()) {
+    out_ << ",\"label\":\"";
+    for (char ch : label) {
+      if (ch == '"' || ch == '\\') out_ << '\\';
+      out_ << ch;
+    }
+    out_ << "\"";
+  }
+  out_ << ",";
+  line.write_json_fields(out_);
+  out_ << "}\n";
+  out_.flush();
+}
+
+void SnapshotReporter::start() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (ticker_.joinable()) return;
+  stopping_ = false;
+  ticker_ = std::thread([this] {
+    std::unique_lock<std::mutex> lk(mutex_);
+    for (;;) {
+      if (stop_cv_.wait_for(lk, opts_.interval, [&] { return stopping_; })) {
+        return;
+      }
+      emit_locked({});
+    }
+  });
+}
+
+void SnapshotReporter::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (!ticker_.joinable()) return;
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  ticker_.join();
+}
+
+}  // namespace tiv::obs

@@ -1,0 +1,99 @@
+#include "obs/trace.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <ostream>
+
+namespace tiv::obs {
+
+std::atomic<SpanTracer*> SpanTracer::current_{nullptr};
+
+std::uint64_t SpanTracer::now_ns() {
+  using clock = std::chrono::steady_clock;
+  // Process-relative epoch so trace timestamps start near zero (Chrome's
+  // viewer handles absolute steady-clock values, but small numbers keep
+  // the JSON compact and the timeline readable).
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           epoch)
+          .count());
+}
+
+std::uint32_t SpanTracer::thread_ordinal() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ord =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ord;
+}
+
+SpanTracer::SpanTracer(std::size_t capacity) {
+  const std::size_t cap = std::bit_ceil(capacity == 0 ? 1 : capacity);
+  ring_.resize(cap);
+  mask_ = cap - 1;
+}
+
+SpanTracer::~SpanTracer() {
+  // Self-detach so a tracer destroyed while attached cannot dangle.
+  SpanTracer* self = this;
+  current_.compare_exchange_strong(self, nullptr,
+                                   std::memory_order_acq_rel);
+}
+
+void SpanTracer::record(const char* name, std::uint64_t start_ns,
+                        std::uint64_t end_ns) {
+  const std::uint64_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+  TraceEvent& e = ring_[slot & mask_];
+  e.name = name;
+  e.tid = thread_ordinal();
+  e.start_ns = start_ns;
+  e.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+}
+
+std::vector<TraceEvent> SpanTracer::events() const {
+  const std::uint64_t n = recorded();
+  std::vector<TraceEvent> out;
+  if (n == 0) return out;
+  const std::size_t kept =
+      static_cast<std::size_t>(std::min<std::uint64_t>(n, ring_.size()));
+  out.reserve(kept);
+  // Oldest retained slot first: when wrapped, that is slot `n mod cap`
+  // (the slot the next record would overwrite).
+  const std::uint64_t first = n > ring_.size() ? n - ring_.size() : 0;
+  for (std::uint64_t i = first; i < n; ++i) out.push_back(ring_[i & mask_]);
+  return out;
+}
+
+std::uint64_t SpanTracer::total_ns(const char* name) const {
+  std::uint64_t sum = 0;
+  for (const TraceEvent& e : events()) {
+    if (std::strcmp(e.name, name) == 0) sum += e.dur_ns;
+  }
+  return sum;
+}
+
+std::size_t SpanTracer::count(const char* name) const {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events()) {
+    if (std::strcmp(e.name, name) == 0) ++n;
+  }
+  return n;
+}
+
+void SpanTracer::write_chrome_trace(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events()) {
+    if (!first) out << ",\n";
+    first = false;
+    // Complete ("X") events; ts/dur are microseconds (double).
+    out << "{\"name\":\"" << e.name
+        << "\",\"cat\":\"tiv\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+        << ",\"ts\":" << static_cast<double>(e.start_ns) / 1e3
+        << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1e3 << "}";
+  }
+  out << "]}\n";
+}
+
+}  // namespace tiv::obs

@@ -1,7 +1,33 @@
 #include "shard/fault_injector.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace tiv::shard {
 namespace {
+
+// Injection telemetry: process-wide counts across all injectors, so a soak
+// run's metrics snapshot shows what was thrown at the storage layer
+// alongside what the recovery layer absorbed. Per-instance counts stay in
+// FaultInjector::stats().
+obs::Counter& injected(const char* name) {
+  return obs::MetricsRegistry::instance().counter(name);
+}
+obs::Counter& injected_bitflips() {
+  static obs::Counter& c = injected("fault.injected_bitflips");
+  return c;
+}
+obs::Counter& injected_eio() {
+  static obs::Counter& c = injected("fault.injected_eio");
+  return c;
+}
+obs::Counter& injected_torn_writes() {
+  static obs::Counter& c = injected("fault.injected_torn_writes");
+  return c;
+}
+obs::Counter& injected_commit_fails() {
+  static obs::Counter& c = injected("fault.injected_commit_fails");
+  return c;
+}
 
 /// splitmix64 finalizer — the standard 64-bit avalanche.
 std::uint64_t splitmix64(std::uint64_t x) {
@@ -27,6 +53,7 @@ void FaultInjector::before_read() {
   if (config_.eio_read_rate > 0.0 &&
       to_unit(mix(n ^ 0xe10ull)) < config_.eio_read_rate) {
     eio_errors_.fetch_add(1, std::memory_order_relaxed);
+    injected_eio().increment();
     throw InjectedIoError("FaultInjector: injected EIO on tile read");
   }
 }
@@ -49,6 +76,7 @@ bool FaultInjector::corrupt_read(std::size_t tile_bytes,
   *byte_index = static_cast<std::size_t>(h % tile_bytes);
   *bit = static_cast<unsigned>((h >> 32) & 7);
   bitflips_.fetch_add(1, std::memory_order_relaxed);
+  injected_bitflips().increment();
   return true;
 }
 
@@ -57,10 +85,12 @@ WriteFault FaultInjector::on_write() {
   if (config_.torn_write_at_commit != 0 &&
       n == config_.torn_write_at_commit) {
     torn_writes_.fetch_add(1, std::memory_order_relaxed);
+    injected_torn_writes().increment();
     return WriteFault::kTornWrite;
   }
   if (config_.fail_at_commit != 0 && n == config_.fail_at_commit) {
     commit_fails_.fetch_add(1, std::memory_order_relaxed);
+    injected_commit_fails().increment();
     return WriteFault::kFailBeforeChecksum;
   }
   return WriteFault::kNone;

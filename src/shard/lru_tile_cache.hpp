@@ -27,11 +27,21 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace tiv::shard {
 
+/// Per-instance accounting view. The event counts (hits, misses, ...) are
+/// maintained exactly once, as obs registry metrics inside the cache
+/// (docs/OBSERVABILITY.md) — this struct is the compatibility shim stats()
+/// fills from them, so existing callers keep working. Note the counts read
+/// zero under TIV_OBS_DISABLE; the byte accounting (current/peak) is
+/// functional state (it drives eviction) and is always live.
 struct CacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;       ///< tiles loaded from disk (incl. prefetch)
@@ -53,8 +63,16 @@ class LruTileCache {
  public:
   using Ref = std::shared_ptr<const TileT>;
 
-  LruTileCache(std::size_t budget_bytes, std::size_t tile_footprint)
-      : budget_(budget_bytes), tile_footprint_(tile_footprint) {}
+  /// `metric_prefix`, when given, links this instance's counters into the
+  /// process metrics registry under "<prefix>.hits", ".misses",
+  /// ".evictions", ".invalidations", ".current_bytes" (summed across live
+  /// instances) and ".peak_bytes" (max). Unnamed caches still count, just
+  /// unregistered.
+  LruTileCache(std::size_t budget_bytes, std::size_t tile_footprint,
+               const char* metric_prefix = nullptr)
+      : budget_(budget_bytes), tile_footprint_(tile_footprint) {
+    if (metric_prefix != nullptr) link_metrics(metric_prefix);
+  }
 
   LruTileCache(const LruTileCache&) = delete;
   LruTileCache& operator=(const LruTileCache&) = delete;
@@ -71,7 +89,7 @@ class LruTileCache {
         return load_and_publish(key, loader, lk);
       }
       if (!it->second.loading) {
-        ++stats_.hits;
+        hits_.increment();
         lru_.splice(lru_.begin(), lru_, it->second.lru);  // touch
         return it->second.tile;
       }
@@ -99,8 +117,8 @@ class LruTileCache {
              "invalidating a pinned tile");
       lru_.erase(it->second.lru);
       map_.erase(it);
-      stats_.current_bytes -= tile_footprint_;
-      ++stats_.invalidations;
+      current_bytes_ -= tile_footprint_;
+      invalidations_.increment();
       return;
     }
   }
@@ -114,8 +132,15 @@ class LruTileCache {
   std::size_t budget_bytes() const { return budget_; }
 
   CacheStats stats() const {
+    CacheStats s;
+    s.hits = hits_.value();
+    s.misses = misses_.value();
+    s.evictions = evictions_.value();
+    s.invalidations = invalidations_.value();
     std::lock_guard<std::mutex> lk(mutex_);
-    return stats_;
+    s.current_bytes = current_bytes_;
+    s.peak_bytes = peak_bytes_;
+    return s;
   }
 
  private:
@@ -128,12 +153,12 @@ class LruTileCache {
   template <typename Loader>
   Ref load_and_publish(std::uint64_t key, Loader& loader,
                        std::unique_lock<std::mutex>& lk) {
-    ++stats_.misses;
+    misses_.increment();
     evict_for_locked(tile_footprint_);
     // Reserve the bytes before dropping the lock so concurrent loaders see
     // each other's in-flight tiles in the accounting.
-    stats_.current_bytes += tile_footprint_;
-    stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.current_bytes);
+    current_bytes_ += tile_footprint_;
+    peak_bytes_ = std::max(peak_bytes_, current_bytes_);
     // Keep a reference, not the iterator: concurrent emplaces during the
     // unlocked I/O below may rehash the map, which invalidates iterators
     // but never references, and only this thread erases entry `key`.
@@ -146,7 +171,7 @@ class LruTileCache {
       tile = loader();
     } catch (...) {
       lk.lock();
-      stats_.current_bytes -= tile_footprint_;
+      current_bytes_ -= tile_footprint_;
       map_.erase(key);
       loaded_cv_.notify_all();
       throw;
@@ -166,7 +191,7 @@ class LruTileCache {
     // the map's own keeps use_count > 1). Loading placeholders are not in
     // lru_ and so are never considered.
     auto it = lru_.end();
-    while (stats_.current_bytes + incoming_bytes > budget_ &&
+    while (current_bytes_ + incoming_bytes > budget_ &&
            it != lru_.begin()) {
       --it;
       auto mit = map_.find(*it);
@@ -174,9 +199,37 @@ class LruTileCache {
       mit->second.tile.reset();  // frees the tile (sole owner)
       map_.erase(mit);
       it = lru_.erase(it);
-      stats_.current_bytes -= tile_footprint_;
-      ++stats_.evictions;
+      current_bytes_ -= tile_footprint_;
+      evictions_.increment();
     }
+  }
+
+  void link_metrics(const char* prefix) {
+    auto& reg = obs::MetricsRegistry::instance();
+    using Agg = obs::MetricsRegistry::Agg;
+    const std::string p(prefix);
+    links_.reserve(6);
+    links_.push_back(reg.link(p + ".hits", Agg::kSum,
+                              [this] { return hits_.value(); }));
+    links_.push_back(reg.link(p + ".misses", Agg::kSum,
+                              [this] { return misses_.value(); }));
+    links_.push_back(reg.link(p + ".evictions", Agg::kSum,
+                              [this] { return evictions_.value(); }));
+    links_.push_back(reg.link(p + ".invalidations", Agg::kSum,
+                              [this] { return invalidations_.value(); }));
+    // Byte levels: current sums live instances only (a destroyed cache
+    // holds nothing), peak is the process-wide high-water mark.
+    links_.push_back(reg.link(
+        p + ".current_bytes", Agg::kSum,
+        [this] {
+          std::lock_guard<std::mutex> lk(mutex_);
+          return static_cast<std::uint64_t>(current_bytes_);
+        },
+        /*retain_on_unlink=*/false));
+    links_.push_back(reg.link(p + ".peak_bytes", Agg::kMax, [this] {
+      std::lock_guard<std::mutex> lk(mutex_);
+      return static_cast<std::uint64_t>(peak_bytes_);
+    }));
   }
 
   const std::size_t budget_;
@@ -186,7 +239,17 @@ class LruTileCache {
   std::condition_variable loaded_cv_;
   std::unordered_map<std::uint64_t, Entry> map_;
   std::list<std::uint64_t> lru_;  ///< front = most recently used
-  CacheStats stats_;
+
+  // Event counts: obs registry metrics, the single point of maintenance
+  // (CacheStats is a view — see stats()). Byte accounting stays plain
+  // mutex-guarded state because eviction decisions read it.
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::Counter invalidations_;
+  std::size_t current_bytes_ = 0;
+  std::size_t peak_bytes_ = 0;
+  std::vector<obs::MetricsRegistry::Link> links_;
 };
 
 }  // namespace tiv::shard

@@ -18,7 +18,10 @@ TileCache::TileCache(const TileStore& store, std::size_t budget_bytes)
       // Footprint charged per resident tile: the serialized size. The
       // in-memory layout is identical (payload + mask words); allocator
       // slack is not modeled.
-      cache_(budget_bytes, store.tile_bytes()) {}
+      cache_(budget_bytes, store.tile_bytes(), "cache.input"),
+      drops_link_(obs::MetricsRegistry::instance().link(
+          "cache.input.prefetch_drops", obs::MetricsRegistry::Agg::kSum,
+          [this] { return prefetcher_.dropped(); })) {}
 
 TileRef TileCache::acquire(std::uint32_t r, std::uint32_t c) {
   return cache_.acquire(key(r, c), [&]() -> TileRef {

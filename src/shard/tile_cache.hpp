@@ -107,6 +107,9 @@ class TileCache {
   const TileStore& store_;
   LruTileCache<Tile> cache_;
   BackgroundQueue prefetcher_{16};
+  // Declared after prefetcher_: the link's unlink-time probe reads
+  // prefetcher_.dropped(), so it must be destroyed first.
+  obs::MetricsRegistry::Link drops_link_;
 };
 
 }  // namespace tiv::shard

@@ -182,6 +182,16 @@ TileFile TileFile::open(const TileFileParams& params, const std::string& path,
   f.path_ = path;
   f.fd_ = fd;
   f.writable_ = writable;
+  {
+    auto& reg = obs::MetricsRegistry::instance();
+    const std::string prefix = params.metric_prefix;
+    f.metrics_.reads = &reg.counter(prefix + ".reads");
+    f.metrics_.read_bytes = &reg.counter(prefix + ".read_bytes");
+    f.metrics_.read_retries = &reg.counter(prefix + ".read_retries");
+    f.metrics_.corrupt_tiles = &reg.counter(prefix + ".corrupt_tiles");
+    f.metrics_.writes = &reg.counter(prefix + ".writes");
+    f.metrics_.write_bytes = &reg.counter(prefix + ".write_bytes");
+  }
 
   RawHeader h{};
   if (::pread(fd, &h, sizeof(h), 0) != static_cast<ssize_t>(sizeof(h))) {
@@ -240,7 +250,8 @@ TileFile::TileFile(TileFile&& o) noexcept
       tile_offsets_(std::move(o.tile_offsets_)),
       tile_checksums_(std::move(o.tile_checksums_)),
       read_retries_(o.read_retries_.load(std::memory_order_relaxed)),
-      injector_(std::exchange(o.injector_, nullptr)) {}
+      injector_(std::exchange(o.injector_, nullptr)),
+      metrics_(o.metrics_) {}
 
 TileFile& TileFile::operator=(TileFile&& o) noexcept {
   if (this != &o) {
@@ -259,6 +270,7 @@ TileFile& TileFile::operator=(TileFile&& o) noexcept {
     read_retries_.store(o.read_retries_.load(std::memory_order_relaxed),
                         std::memory_order_relaxed);
     injector_ = std::exchange(o.injector_, nullptr);
+    metrics_ = o.metrics_;
   }
   return *this;
 }
@@ -289,6 +301,10 @@ std::size_t TileFile::tile_index(std::uint32_t r, std::uint32_t c) const {
 void TileFile::read_tile(std::uint32_t r, std::uint32_t c,
                          std::initializer_list<TileSection> sections) const {
   const std::size_t idx = tile_index(r, c);
+  if (metrics_.reads != nullptr) {
+    metrics_.reads->increment();
+    metrics_.read_bytes->add(tile_bytes_);
+  }
   for (int attempt = 0;; ++attempt) {
     if (injector_ != nullptr) injector_->before_read();
     std::uint64_t off = tile_offsets_[idx];
@@ -300,6 +316,9 @@ void TileFile::read_tile(std::uint32_t r, std::uint32_t c,
         // A valid offset returning fewer bytes than the fixed record
         // length means the file lost its tail — data damage a re-read
         // cannot undo, so it escalates straight to the recoverable path.
+        if (metrics_.corrupt_tiles != nullptr) {
+          metrics_.corrupt_tiles->increment();
+        }
         throw CorruptTileError(store_name_, path_, r, c, "truncated tile");
       }
       off += s.bytes;
@@ -327,9 +346,13 @@ void TileFile::read_tile(std::uint32_t r, std::uint32_t c,
     // persistent kind escalates (and higher layers never pay a rebuild
     // for in-flight noise).
     if (attempt >= kReadRetries) {
+      if (metrics_.corrupt_tiles != nullptr) metrics_.corrupt_tiles->increment();
       throw CorruptTileError(store_name_, path_, r, c, "checksum mismatch");
     }
     read_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.read_retries != nullptr) metrics_.read_retries->increment();
+    // The re-read bytes count too — they hit the device again.
+    if (metrics_.read_bytes != nullptr) metrics_.read_bytes->add(tile_bytes_);
   }
 }
 
@@ -337,6 +360,10 @@ void TileFile::write_tile(std::uint32_t r, std::uint32_t c,
                           std::initializer_list<ConstTileSection> sections) {
   if (!writable_) fail("tile write on a read-only store");
   const std::size_t idx = tile_index(r, c);
+  if (metrics_.writes != nullptr) {
+    metrics_.writes->increment();
+    metrics_.write_bytes->add(tile_bytes_);
+  }
   const WriteFault fault =
       injector_ != nullptr ? injector_->on_write() : WriteFault::kNone;
   if (fault == WriteFault::kTornWrite) {

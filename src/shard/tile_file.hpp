@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "delayspace/delay_matrix.hpp"
+#include "obs/metrics.hpp"
 #include "shard/checksum.hpp"
 
 namespace tiv::shard {
@@ -55,6 +56,10 @@ struct TileFileParams {
   TileIndexShape shape;
   /// Serialized bytes of one tile as a function of tile_dim.
   std::size_t (*tile_bytes)(std::uint32_t tile_dim);
+  /// Registry namespace for this store's I/O counters
+  /// ("<prefix>.reads", ".read_bytes", ".read_retries", ".corrupt_tiles",
+  /// ".writes", ".write_bytes" — see docs/OBSERVABILITY.md).
+  const char* metric_prefix = "tile";
 };
 
 /// One section of a tile's serialized bytes (payload, masks, ...).
@@ -209,6 +214,20 @@ class TileFile {
   std::vector<std::uint64_t> tile_checksums_;  ///< FNV-1a, same indexing
   mutable std::atomic<std::uint64_t> read_retries_{0};
   FaultInjector* injector_ = nullptr;
+
+  /// Registry-owned I/O telemetry, resolved once at open() from
+  /// TileFileParams::metric_prefix. Pointers because registry metrics have
+  /// stable addresses while a TileFile is movable; null on a
+  /// default-constructed file (no I/O possible there either).
+  struct IoMetrics {
+    obs::Counter* reads = nullptr;
+    obs::Counter* read_bytes = nullptr;
+    obs::Counter* read_retries = nullptr;
+    obs::Counter* corrupt_tiles = nullptr;
+    obs::Counter* writes = nullptr;
+    obs::Counter* write_bytes = nullptr;
+  };
+  IoMetrics metrics_;
 };
 
 }  // namespace tiv::shard

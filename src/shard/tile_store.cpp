@@ -18,8 +18,9 @@ std::size_t store_tile_bytes(std::uint32_t tile_dim) {
   return payload_floats * sizeof(float) + mask_words * sizeof(std::uint64_t);
 }
 
-constexpr TileFileParams kParams{
-    "TIVSHRD2", 2, "TileStore", TileIndexShape::kSquare, store_tile_bytes};
+constexpr TileFileParams kParams{"TIVSHRD2", 2, "TileStore",
+                                 TileIndexShape::kSquare, store_tile_bytes,
+                                 "shard.input"};
 
 /// Packs tile (tr, tc) of `m` into payload/masks — the single definition of
 /// a tile's bytes, shared by write_matrix and repack_tile so an in-place

@@ -11,7 +11,7 @@ std::size_t store_tile_bytes(std::uint32_t tile_dim) {
 
 constexpr shard::TileFileParams kParams{"TIVSSEV1", 1, "SeverityTileStore",
                                         shard::TileIndexShape::kTriangular,
-                                        store_tile_bytes};
+                                        store_tile_bytes, "shard.sink"};
 
 }  // namespace
 

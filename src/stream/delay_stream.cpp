@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 namespace tiv::stream {
 
 EdgeEstimator::EdgeEstimator(const EstimatorParams& params) : params_(params) {
@@ -43,7 +45,23 @@ float EdgeEstimator::update(float sample_ms) {
 DelayStream::DelayStream(DelayMatrix initial, EstimatorParams params)
     : matrix_(std::move(initial)),
       params_(params),
-      host_dirty_(matrix_.size(), 0) {}
+      host_dirty_(matrix_.size(), 0),
+      counters_(std::make_unique<IngestCounters>()) {
+  auto& reg = obs::MetricsRegistry::instance();
+  using Agg = obs::MetricsRegistry::Agg;
+  IngestCounters& c = *counters_;
+  c.links.reserve(5);
+  c.links.push_back(reg.link("stream.samples_applied", Agg::kSum,
+                             [&c] { return c.samples_applied.value(); }));
+  c.links.push_back(reg.link("stream.samples_rejected", Agg::kSum,
+                             [&c] { return c.samples_rejected.value(); }));
+  c.links.push_back(reg.link("stream.edges_touched", Agg::kSum,
+                             [&c] { return c.edges_touched.value(); }));
+  c.links.push_back(reg.link("stream.became_measured", Agg::kSum,
+                             [&c] { return c.became_measured.value(); }));
+  c.links.push_back(reg.link("stream.became_missing", Agg::kSum,
+                             [&c] { return c.became_missing.value(); }));
+}
 
 void DelayStream::mark_dirty(HostId h) {
   if (!host_dirty_[h]) {
@@ -61,7 +79,7 @@ void DelayStream::ingest(const DelaySample& sample) {
   // forbids.
   if (sample.a == sample.b || sample.a >= n || sample.b >= n ||
       !std::isfinite(sample.delay_ms)) {
-    ++stats_.samples_rejected;
+    counters_->samples_rejected.increment();
     return;
   }
   const std::uint64_t key = edge_key(sample.a, sample.b);
@@ -71,12 +89,12 @@ void DelayStream::ingest(const DelaySample& sample) {
   auto [ts_it, first_sample] = last_timestamp_.try_emplace(key, sample.timestamp);
   if (!first_sample) {
     if (sample.timestamp < ts_it->second) {
-      ++stats_.samples_rejected;
+      counters_->samples_rejected.increment();
       return;
     }
     ts_it->second = sample.timestamp;
   }
-  ++stats_.samples_applied;
+  counters_->samples_applied.increment();
 
   const float old = matrix_.at(sample.a, sample.b);
   if (sample.delay_ms < 0.0f) {
@@ -85,8 +103,8 @@ void DelayStream::ingest(const DelaySample& sample) {
     estimators_.erase(key);
     if (old >= 0.0f) {
       matrix_.set_missing(sample.a, sample.b);
-      ++stats_.became_missing;
-      ++stats_.edges_touched;
+      counters_->became_missing.increment();
+      counters_->edges_touched.increment();
       mark_dirty(sample.a);
       mark_dirty(sample.b);
     }
@@ -95,30 +113,51 @@ void DelayStream::ingest(const DelaySample& sample) {
 
   auto [est_it, inserted] = estimators_.try_emplace(key, params_);
   const float estimate = est_it->second.update(sample.delay_ms);
-  if (old < 0.0f) ++stats_.became_measured;
+  if (old < 0.0f) counters_->became_measured.increment();
   // Dirty only on an actual matrix change: a repeated identical estimate
   // keeps the epoch clean and the incremental consumers idle.
   if (old < 0.0f || estimate != old) {
     matrix_.set(sample.a, sample.b, estimate);
-    ++stats_.edges_touched;
+    counters_->edges_touched.increment();
     mark_dirty(sample.a);
     mark_dirty(sample.b);
   }
 }
 
 void DelayStream::ingest(std::span<const DelaySample> batch) {
+  obs::Span span("ingest");
   for (const DelaySample& s : batch) ingest(s);
+}
+
+EpochStats DelayStream::cumulative_stats() const {
+  EpochStats s;
+  const IngestCounters& c = *counters_;
+  s.samples_applied = c.samples_applied.value();
+  s.samples_rejected = c.samples_rejected.value();
+  s.edges_touched = c.edges_touched.value();
+  s.became_measured = c.became_measured.value();
+  s.became_missing = c.became_missing.value();
+  return s;
 }
 
 Epoch DelayStream::commit_epoch() {
   Epoch out;
   out.index = epoch_++;
-  out.stats = stats_;
+  // The epoch's stats are the registry counters' advance since the last
+  // commit — the counters are the single source of truth.
+  const EpochStats cur = cumulative_stats();
+  out.stats.samples_applied = cur.samples_applied - committed_base_.samples_applied;
+  out.stats.samples_rejected = cur.samples_rejected - committed_base_.samples_rejected;
+  out.stats.edges_touched = cur.edges_touched - committed_base_.edges_touched;
+  out.stats.became_measured = cur.became_measured - committed_base_.became_measured;
+  out.stats.became_missing = cur.became_missing - committed_base_.became_missing;
+  committed_base_ = cur;
+  obs::MetricsRegistry::instance().counter("stream.epochs_committed")
+      .increment();
   out.dirty_hosts = std::move(dirty_hosts_);
   std::sort(out.dirty_hosts.begin(), out.dirty_hosts.end());
   for (const HostId h : out.dirty_hosts) host_dirty_[h] = 0;
   dirty_hosts_.clear();
-  stats_ = EpochStats{};
   return out;
 }
 

@@ -14,11 +14,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "delayspace/delay_matrix.hpp"
+#include "obs/metrics.hpp"
 
 namespace tiv::stream {
 
@@ -74,7 +76,11 @@ class EdgeEstimator {
   std::uint32_t ring_count_ = 0;
 };
 
-/// Per-epoch ingestion accounting (reset by commit_epoch).
+/// Per-epoch ingestion accounting. A view: the stream maintains these as
+/// cumulative obs registry metrics ("stream.samples_applied", ...) and
+/// commit_epoch reports the delta since the previous commit, so every
+/// count is kept exactly once (docs/OBSERVABILITY.md). Counts read zero
+/// under TIV_OBS_DISABLE.
 struct EpochStats {
   std::size_t samples_applied = 0;   ///< accepted into an estimator
   std::size_t samples_rejected = 0;  ///< self-pairs and stale timestamps
@@ -130,13 +136,28 @@ class DelayStream {
   }
   void mark_dirty(HostId h);
 
+  /// Cumulative ingestion counters, linked into the metrics registry under
+  /// "stream.*". Heap-allocated so the stream stays movable while the
+  /// registry links keep probing stable addresses.
+  struct IngestCounters {
+    obs::Counter samples_applied;
+    obs::Counter samples_rejected;
+    obs::Counter edges_touched;
+    obs::Counter became_measured;
+    obs::Counter became_missing;
+    std::vector<obs::MetricsRegistry::Link> links;
+  };
+  /// Current cumulative counter values as a stats struct.
+  EpochStats cumulative_stats() const;
+
   DelayMatrix matrix_;
   EstimatorParams params_;
   std::unordered_map<std::uint64_t, EdgeEstimator> estimators_;
   std::unordered_map<std::uint64_t, double> last_timestamp_;
   std::vector<HostId> dirty_hosts_;       ///< distinct, insertion order
   std::vector<std::uint8_t> host_dirty_;  ///< membership bitmap for the above
-  EpochStats stats_;
+  std::unique_ptr<IngestCounters> counters_;
+  EpochStats committed_base_;  ///< cumulative totals at the last commit
   std::uint64_t epoch_ = 0;
 };
 

@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace tiv::stream {
 
 using core::TivAnalyzer;
@@ -15,6 +17,7 @@ IncrementalSeverity::ApplyStats IncrementalSeverity::apply_epoch(
     const DelayMatrix& matrix, std::span<const HostId> dirty_hosts) {
   ApplyStats stats;
   if (dirty_hosts.empty()) return stats;
+  obs::Span span("view-repair");
   view_.apply_epoch(matrix, dirty_hosts);
   stats.rows_repacked = dirty_hosts.size();
 

@@ -9,11 +9,38 @@
 #include <vector>
 
 #include "core/shard_severity.hpp"
+#include "obs/trace.hpp"
 #include "shard/fault_injector.hpp"
 #include "stream/epoch_manifest.hpp"
 
 namespace tiv::stream {
 namespace {
+
+obs::Counter& engine_epochs_applied() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("engine.epochs_applied");
+  return c;
+}
+obs::Counter& engine_tiles_repacked() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("engine.input_tiles_repacked");
+  return c;
+}
+obs::Counter& engine_sink_tiles_committed() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter(
+      "engine.severity_tiles_committed");
+  return c;
+}
+obs::Counter& engine_edges_recomputed() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("engine.edges_recomputed");
+  return c;
+}
+obs::Histogram& engine_epoch_ns() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::instance().histogram("engine.epoch_ns");
+  return h;
+}
 
 std::string derive_path(const std::string& configured, const char* tag) {
   if (!configured.empty()) return configured;
@@ -63,6 +90,7 @@ ShardStreamEngine::ShardStreamEngine(const delayspace::DelayMatrix& initial,
   sink_cache_.emplace(*sink_, config_.output_budget_bytes);
   core::all_severities_to_sink(*input_, *input_cache_, *sink_);
   guard.armed = false;
+  link_recovery_metrics();
 }
 
 ShardStreamEngine::ShardStreamEngine(RecoverTag,
@@ -84,11 +112,14 @@ ShardStreamEngine::ShardStreamEngine(RecoverTag,
                                         matrix.size(), config_.tile_dim);
   sink_cache_.emplace(*sink_, config_.output_budget_bytes);
 
+  link_recovery_metrics();
+
   const auto manifest =
       EpochManifest::load(EpochManifest::path_for(config_.sink_path));
   if (!manifest.has_value()) return;  // clean shutdown (or torn manifest
                                       // write — stores untouched either way)
 
+  obs::Span span("recovery-action");
   // Torn epoch: only the journaled tiles are suspect. Re-repack every
   // journaled input tile from the post-epoch matrix (idempotent for the
   // ones that did land), then rebuild every journaled sink tile from the
@@ -107,7 +138,25 @@ ShardStreamEngine::ShardStreamEngine(RecoverTag,
   }
   EpochManifest::clear(EpochManifest::path_for(config_.sink_path));
   epochs_applied_ = manifest->generation;
-  ++recovery_.torn_epochs_replayed;
+  recovery_.torn_epochs_replayed.increment();
+}
+
+void ShardStreamEngine::link_recovery_metrics() {
+  auto& reg = obs::MetricsRegistry::instance();
+  using Agg = obs::MetricsRegistry::Agg;
+  RecoveryCounters& r = recovery_;
+  r.links.reserve(4);
+  r.links.push_back(
+      reg.link("engine.recovery.input_tiles_recovered", Agg::kSum,
+               [&r] { return r.input_tiles_recovered.value(); }));
+  r.links.push_back(
+      reg.link("engine.recovery.sink_tiles_recovered", Agg::kSum,
+               [&r] { return r.sink_tiles_recovered.value(); }));
+  r.links.push_back(reg.link("engine.recovery.io_retries", Agg::kSum,
+                             [&r] { return r.io_retries.value(); }));
+  r.links.push_back(
+      reg.link("engine.recovery.torn_epochs_replayed", Agg::kSum,
+               [&r] { return r.torn_epochs_replayed.value(); }));
 }
 
 ShardStreamEngine ShardStreamEngine::recover(
@@ -126,6 +175,7 @@ ShardStreamEngine::~ShardStreamEngine() {
 }
 
 void ShardStreamEngine::heal(const shard::CorruptTileError& e) {
+  obs::Span span("recovery-action");
   const std::uint32_t r = e.tile_row();
   const std::uint32_t c = e.tile_col();
   if (e.path() == sink_->path()) {
@@ -133,7 +183,7 @@ void ShardStreamEngine::heal(const shard::CorruptTileError& e) {
     // pair from scratch — bit-identical to what a full build would write.
     core::rebuild_sink_tile(*input_, *input_cache_, *sink_, r, c);
     sink_cache_->invalidate(r, c);
-    ++recovery_.sink_tiles_recovered;
+    recovery_.sink_tiles_recovered.increment();
     return;
   }
   if (e.path() == input_->path() && source_ != nullptr) {
@@ -141,7 +191,7 @@ void ShardStreamEngine::heal(const shard::CorruptTileError& e) {
     // for input tiles; repack is byte-identical to a fresh build.
     input_->repack_tile(*source_, r, c);
     input_cache_->invalidate(r, c);
-    ++recovery_.input_tiles_recovered;
+    recovery_.input_tiles_recovered.increment();
     return;
   }
   throw e;  // foreign store, or input damage with no repair source
@@ -167,12 +217,12 @@ auto ShardStreamEngine::with_recovery(Fn&& fn) -> decltype(fn()) {
         } catch (const shard::CorruptTileError& inner) {
           e = inner;
         } catch (const shard::InjectedIoError&) {
-          ++recovery_.io_retries;
+          recovery_.io_retries.increment();
         }
       }
     } catch (const shard::InjectedIoError&) {
       if (++actions > kMaxRecoveryActions) throw;
-      ++recovery_.io_retries;
+      recovery_.io_retries.increment();
     }
   }
 }
@@ -197,6 +247,9 @@ ShardStreamEngine::EpochStats ShardStreamEngine::apply_epoch(
         "ShardStreamEngine::apply_epoch: matrix size changed");
   }
   if (dirty_hosts.empty()) return stats;
+
+  obs::Span epoch_span("epoch");
+  const auto epoch_t0 = obs::kEnabled ? obs::SpanTracer::now_ns() : 0;
 
   const std::uint32_t T = input_->tile_dim();
   const std::uint32_t bands = input_->tiles_per_side();
@@ -249,10 +302,13 @@ ShardStreamEngine::EpochStats ShardStreamEngine::apply_epoch(
   // repack each in place and drop any cached copy so the severity pass
   // below reads the post-epoch bytes. Tiles with one clean side are
   // byte-identical to a fresh build already and are not touched.
-  for (const auto& [b, c] : manifest.input_tiles) {
-    input_->repack_tile(matrix, b, c);
-    input_cache_->invalidate(b, c);
-    ++stats.input_tiles_repacked;
+  {
+    obs::Span repack_span("tile-repack");
+    for (const auto& [b, c] : manifest.input_tiles) {
+      input_->repack_tile(matrix, b, c);
+      input_cache_->invalidate(b, c);
+      ++stats.input_tiles_repacked;
+    }
   }
 
   // 3. Severity repair: recompute the edges incident to dirty hosts and
@@ -266,16 +322,26 @@ ShardStreamEngine::EpochStats ShardStreamEngine::apply_epoch(
   stats.severity_tiles_committed = repair.tiles_committed;
   stats.edges_recomputed = repair.edges_recomputed;
 
-  // 4. Sink-cache coherence: drop every cached severity tile that can
-  // contain a dirty edge (a superset of the tiles actually rewritten —
-  // re-reading an unchanged tile is just a cold read).
-  for (const auto& [bi, bj] : manifest.sink_tiles) {
-    sink_cache_->invalidate(bi, bj);
-  }
+  {
+    obs::Span commit_span("sink-commit");
+    // 4. Sink-cache coherence: drop every cached severity tile that can
+    // contain a dirty edge (a superset of the tiles actually rewritten —
+    // re-reading an unchanged tile is just a cold read).
+    for (const auto& [bi, bj] : manifest.sink_tiles) {
+      sink_cache_->invalidate(bi, bj);
+    }
 
-  // 5. Commit point: both stores are consistent, drop the journal.
-  EpochManifest::clear(manifest_path);
+    // 5. Commit point: both stores are consistent, drop the journal.
+    EpochManifest::clear(manifest_path);
+  }
   ++epochs_applied_;
+  engine_epochs_applied().increment();
+  engine_tiles_repacked().add(stats.input_tiles_repacked);
+  engine_sink_tiles_committed().add(stats.severity_tiles_committed);
+  engine_edges_recomputed().add(stats.edges_recomputed);
+  if (obs::kEnabled) {
+    engine_epoch_ns().record(obs::SpanTracer::now_ns() - epoch_t0);
+  }
   return stats;
 }
 

@@ -48,7 +48,9 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
+#include "obs/metrics.hpp"
 #include "shard/tile_cache.hpp"
 #include "shard/tile_store.hpp"
 #include "sink/severity_cache.hpp"
@@ -86,7 +88,10 @@ class ShardStreamEngine {
     std::size_t edges_recomputed = 0;
   };
 
-  /// Cumulative self-healing accounting, per store.
+  /// Cumulative self-healing accounting, per store. A view over the
+  /// engine's obs registry metrics ("engine.recovery.*" — maintained
+  /// exactly once, see docs/OBSERVABILITY.md); counts read zero under
+  /// TIV_OBS_DISABLE.
   struct RecoveryStats {
     /// Input tiles repacked from the attached source matrix after failing
     /// their checksum.
@@ -171,7 +176,11 @@ class ShardStreamEngine {
     return sink_cache_->stats();
   }
   RecoveryStats recovery_stats() const {
-    RecoveryStats s = recovery_;
+    RecoveryStats s;
+    s.input_tiles_recovered = recovery_.input_tiles_recovered.value();
+    s.sink_tiles_recovered = recovery_.sink_tiles_recovered.value();
+    s.io_retries = recovery_.io_retries.value();
+    s.torn_epochs_replayed = recovery_.torn_epochs_replayed.value();
     s.input_read_retries = input_->read_retries();
     s.sink_read_retries = sink_->read_retries();
     return s;
@@ -194,6 +203,18 @@ class ShardStreamEngine {
   ShardStreamEngine(RecoverTag, const delayspace::DelayMatrix& matrix,
                     ShardStreamConfig config);
 
+  /// Recovery accounting: obs counters linked into the registry under
+  /// "engine.recovery.*" (the engine never moves — recover() relies on
+  /// guaranteed elision — so probes into these members stay valid).
+  struct RecoveryCounters {
+    obs::Counter input_tiles_recovered;
+    obs::Counter sink_tiles_recovered;
+    obs::Counter io_retries;
+    obs::Counter torn_epochs_replayed;
+    std::vector<obs::MetricsRegistry::Link> links;
+  };
+  void link_recovery_metrics();
+
   /// Runs `fn`, healing CorruptTileError (rebuild/repack the named tile)
   /// and retrying transient injected I/O errors, up to a bounded number of
   /// recovery actions. Rethrows what it cannot heal.
@@ -215,7 +236,7 @@ class ShardStreamEngine {
   std::optional<sink::SeverityCache> sink_cache_;
   const delayspace::DelayMatrix* source_ = nullptr;
   std::uint64_t epochs_applied_ = 0;
-  RecoveryStats recovery_;
+  RecoveryCounters recovery_;
 };
 
 }  // namespace tiv::stream

@@ -2,14 +2,44 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace tiv {
 namespace {
+
+// Pool telemetry (docs/OBSERVABILITY.md). Function-local statics: resolved
+// once, then each update is a relaxed sharded add.
+obs::Counter& pool_jobs() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter("pool.jobs");
+  return c;
+}
+obs::Counter& pool_chunks_claimed() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("pool.chunks_claimed");
+  return c;
+}
+obs::Counter& pool_idle_ns() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("pool.idle_ns");
+  return c;
+}
+obs::Gauge& pool_threads() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::instance().gauge("pool.threads");
+  return g;
+}
+obs::Histogram& pool_job_ns() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::instance().histogram("pool.job_ns");
+  return h;
+}
 
 std::atomic<std::size_t> g_thread_override{0};
 
@@ -64,12 +94,24 @@ class ThreadPool {
       ++generation_;
     }
     work_cv_.notify_all();
-    // The caller is a full participant. The guard marks it as inside a
-    // parallel region (nested calls from body run inline) and — even if
-    // body throws on this thread — waits for the workers, which hold a
-    // reference to `body`, to finish draining before run() unwinds.
-    JobGuard guard(*this);
-    drain();
+    pool_jobs().increment();
+    const auto job_t0 =
+        obs::kEnabled ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point{};
+    {
+      // The caller is a full participant. The guard marks it as inside a
+      // parallel region (nested calls from body run inline) and — even if
+      // body throws on this thread — waits for the workers, which hold a
+      // reference to `body`, to finish draining before run() unwinds.
+      JobGuard guard(*this);
+      drain();
+    }
+    if (obs::kEnabled) {
+      pool_job_ns().record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - job_t0)
+              .count()));
+    }
   }
 
  private:
@@ -103,21 +145,35 @@ class ThreadPool {
     const std::size_t n = job_n_;
     const std::size_t grain = job_grain_;
     const auto& body = *job_body_;
+    std::size_t claimed = 0;
     for (;;) {
       const std::size_t begin =
           next_.fetch_add(grain, std::memory_order_relaxed);
-      if (begin >= n) return;
+      if (begin >= n) break;
+      ++claimed;
       body(begin, std::min(begin + grain, n));
     }
+    // One add for the whole drain, not one per chunk — the claim loop is
+    // the hot path of parallel_for_dynamic with small grains.
+    if (claimed != 0) pool_chunks_claimed().add(claimed);
   }
 
   void worker_loop(std::uint64_t seen_generation) {
     t_in_parallel_region = true;
     std::unique_lock<std::mutex> lk(mutex_);
     for (;;) {
+      const auto idle_t0 =
+          obs::kEnabled ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
       work_cv_.wait(lk, [&] {
         return stop_ || generation_ != seen_generation;
       });
+      if (obs::kEnabled) {
+        pool_idle_ns().add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - idle_t0)
+                .count()));
+      }
       if (stop_) return;
       seen_generation = generation_;
       lk.unlock();
@@ -138,6 +194,8 @@ class ThreadPool {
       workers_.emplace_back(
           [this, gen = generation_] { worker_loop(gen); });
     }
+    // Workers plus the participating caller.
+    pool_threads().set(static_cast<std::int64_t>(workers_.size()) + 1);
   }
 
   // Joins every worker. Expects mutex_ held via lk; reacquires it before

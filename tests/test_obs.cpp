@@ -1,0 +1,378 @@
+// Telemetry layer (src/obs/): counter exactness under concurrent update,
+// log2 histogram bucket boundaries, snapshot/delta semantics, registry
+// link aggregation (sum with retained fold, max), span-tracer ring
+// wraparound, and the pipeline contract — a ShardStreamEngine epoch
+// records an "epoch" span that nests its tile-repack / band-pair-stream /
+// sink-commit child phases with non-zero durations.
+#include <cstdint>
+#include <filesystem>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "matrix_test_utils.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "stream/delay_stream.hpp"
+#include "stream/shard_stream.hpp"
+#include "util/parallel.hpp"
+
+namespace tiv::obs {
+namespace {
+
+using Agg = MetricsRegistry::Agg;
+
+// --- Counter ----------------------------------------------------------------
+
+TEST(ObsCounter, ConcurrentAddsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Shards merge without loss once updaters quiesce.
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(ObsGauge, SetAddMax) {
+  Gauge g;
+  g.set(10);
+  EXPECT_EQ(g.value(), 10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.max_of(5);  // below current: no-op
+  EXPECT_EQ(g.value(), 7);
+  g.max_of(19);
+  EXPECT_EQ(g.value(), 19);
+}
+
+// --- Histogram --------------------------------------------------------------
+
+TEST(ObsHistogram, BucketBoundaries) {
+  // bucket 0 holds only 0; bucket b >= 1 spans [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), 64u);
+
+  EXPECT_EQ(Histogram::bucket_lower_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_lower_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_lower_bound(2), 2u);
+  EXPECT_EQ(Histogram::bucket_lower_bound(3), 4u);
+  EXPECT_EQ(Histogram::bucket_lower_bound(64), std::uint64_t{1} << 63);
+
+  Histogram h;
+  for (const std::uint64_t v : {0, 1, 2, 3, 4, 7, 8}) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 7u);
+  EXPECT_EQ(s.sum, 25u);
+  EXPECT_EQ(s.buckets[0], 1u);  // {0}
+  EXPECT_EQ(s.buckets[1], 1u);  // {1}
+  EXPECT_EQ(s.buckets[2], 2u);  // {2, 3}
+  EXPECT_EQ(s.buckets[3], 2u);  // {4, 7}
+  EXPECT_EQ(s.buckets[4], 1u);  // {8}
+}
+
+TEST(ObsHistogram, ConcurrentRecordsAreExact) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.record(i % 7);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  std::uint64_t per_thread_sum = 0;
+  for (std::uint64_t i = 0; i < kPerThread; ++i) per_thread_sum += i % 7;
+  EXPECT_EQ(s.sum, kThreads * per_thread_sum);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);
+}
+
+TEST(ObsHistogram, QuantileStaysInBucket) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(5);  // all in bucket [4, 8)
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_GE(s.quantile(q), 4.0);
+    EXPECT_LE(s.quantile(q), 8.0);
+  }
+  EXPECT_EQ(HistogramSnapshot{}.quantile(0.5), 0.0);
+}
+
+// --- Snapshot / delta -------------------------------------------------------
+
+TEST(ObsSnapshot, DeltaCountsIncrementsGaugesStayLevels) {
+  auto& reg = MetricsRegistry::instance();
+  Counter& c = reg.counter("test.delta.counter");
+  Gauge& g = reg.gauge("test.delta.gauge");
+  Histogram& h = reg.histogram("test.delta.hist");
+
+  c.add(5);
+  g.set(42);
+  h.record(100);
+  const MetricsSnapshot base = reg.snapshot();
+  ASSERT_EQ(base.counters.at("test.delta.counter"), 5u);
+  ASSERT_EQ(base.gauges.at("test.delta.gauge"), 42);
+  ASSERT_EQ(base.histograms.at("test.delta.hist").count, 1u);
+
+  c.add(7);
+  g.set(17);
+  h.record(200);
+  h.record(300);
+  const MetricsSnapshot delta = reg.snapshot().delta_since(base);
+  EXPECT_EQ(delta.counters.at("test.delta.counter"), 7u);
+  EXPECT_EQ(delta.gauges.at("test.delta.gauge"), 17);  // point-in-time
+  EXPECT_EQ(delta.histograms.at("test.delta.hist").count, 2u);
+  EXPECT_EQ(delta.histograms.at("test.delta.hist").sum, 500u);
+}
+
+TEST(ObsSnapshot, DeltaClampsRegressionsAtZero) {
+  // Synthesized snapshots: a counter that "went backwards" (an unlinked
+  // non-retained source) must not produce a wrapped-around delta.
+  MetricsSnapshot base;
+  base.counters["x"] = 10;
+  MetricsSnapshot cur;
+  cur.counters["x"] = 4;
+  EXPECT_EQ(cur.delta_since(base).counters.at("x"), 0u);
+}
+
+TEST(ObsSnapshot, JsonHasAllSections) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("test.json.counter").add(3);
+  reg.gauge("test.json.gauge").set(-2);
+  reg.histogram("test.json.hist").record(9);
+  std::ostringstream out;
+  reg.snapshot().write_json(out);
+  const std::string j = out.str();
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"test.json.counter\":3"), std::string::npos);
+  EXPECT_NE(j.find("\"test.json.gauge\":-2"), std::string::npos);
+  EXPECT_NE(j.find("\"test.json.hist\""), std::string::npos);
+  EXPECT_NE(j.find("\"p99\""), std::string::npos);
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+}
+
+// --- Registry links ---------------------------------------------------------
+
+TEST(ObsRegistryLink, SumAggregatesLiveSourcesAndRetainsDeadOnes) {
+  auto& reg = MetricsRegistry::instance();
+  std::uint64_t a = 3;
+  std::uint64_t b = 4;
+  {
+    auto la = reg.link("test.link.sum", Agg::kSum, [&a] { return a; });
+    auto lb = reg.link("test.link.sum", Agg::kSum, [&b] { return b; });
+    EXPECT_EQ(reg.snapshot().counters.at("test.link.sum"), 7u);
+    a = 10;
+    EXPECT_EQ(reg.snapshot().counters.at("test.link.sum"), 14u);
+  }
+  // Both sources died; their final values fold into the retained base so
+  // the total never goes backwards.
+  EXPECT_EQ(reg.snapshot().counters.at("test.link.sum"), 14u);
+  std::uint64_t c = 100;
+  auto lc = reg.link("test.link.sum", Agg::kSum, [&c] { return c; });
+  EXPECT_EQ(reg.snapshot().counters.at("test.link.sum"), 114u);
+}
+
+TEST(ObsRegistryLink, MaxAggregates) {
+  auto& reg = MetricsRegistry::instance();
+  std::uint64_t a = 3;
+  std::uint64_t b = 9;
+  {
+    auto la = reg.link("test.link.max", Agg::kMax, [&a] { return a; });
+    auto lb = reg.link("test.link.max", Agg::kMax, [&b] { return b; });
+    EXPECT_EQ(reg.snapshot().counters.at("test.link.max"), 9u);
+  }
+  // Retained fold keeps the high-water mark, and a smaller live source
+  // does not lower it.
+  std::uint64_t c = 4;
+  auto lc = reg.link("test.link.max", Agg::kMax, [&c] { return c; });
+  EXPECT_EQ(reg.snapshot().counters.at("test.link.max"), 9u);
+  c = 12;
+  EXPECT_EQ(reg.snapshot().counters.at("test.link.max"), 12u);
+}
+
+TEST(ObsRegistryLink, NoRetainDropsValueOnUnlink) {
+  auto& reg = MetricsRegistry::instance();
+  std::uint64_t v = 55;
+  {
+    auto l = reg.link("test.link.noretain", Agg::kSum, [&v] { return v; },
+                      /*retain_on_unlink=*/false);
+    EXPECT_EQ(reg.snapshot().counters.at("test.link.noretain"), 55u);
+  }
+  const MetricsSnapshot s = reg.snapshot();
+  const auto it = s.counters.find("test.link.noretain");
+  EXPECT_TRUE(it == s.counters.end() || it->second == 0u);
+}
+
+TEST(ObsRegistryLink, MoveTransfersOwnership) {
+  auto& reg = MetricsRegistry::instance();
+  std::uint64_t v = 8;
+  auto l1 = reg.link("test.link.move", Agg::kSum, [&v] { return v; },
+                     /*retain_on_unlink=*/false);
+  MetricsRegistry::Link l2 = std::move(l1);
+  EXPECT_EQ(reg.snapshot().counters.at("test.link.move"), 8u);
+  {
+    MetricsRegistry::Link l3 = std::move(l2);
+  }  // unlink happens exactly once, here
+  const MetricsSnapshot s = reg.snapshot();
+  const auto it = s.counters.find("test.link.move");
+  EXPECT_TRUE(it == s.counters.end() || it->second == 0u);
+}
+
+// --- SpanTracer -------------------------------------------------------------
+
+TEST(ObsSpanTracer, RingWraparoundKeepsNewestOldestFirst) {
+  SpanTracer t(8);
+  EXPECT_EQ(t.capacity(), 8u);
+  for (std::uint64_t i = 0; i < 20; ++i) t.record("w", i, i + 1);
+  EXPECT_EQ(t.recorded(), 20u);
+  EXPECT_EQ(t.dropped(), 12u);
+  const std::vector<TraceEvent> evs = t.events();
+  ASSERT_EQ(evs.size(), 8u);
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    EXPECT_EQ(evs[i].start_ns, 12 + i);  // spans 12..19 survive, oldest first
+    EXPECT_EQ(evs[i].dur_ns, 1u);
+  }
+  t.clear();
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(ObsSpanTracer, CapacityRoundsUpToPowerOfTwo) {
+  SpanTracer t(5);
+  EXPECT_EQ(t.capacity(), 8u);
+}
+
+TEST(ObsSpanTracer, TotalsAndCountsByName) {
+  SpanTracer t(16);
+  t.record("alpha", 100, 350);
+  t.record("beta", 400, 500);
+  t.record("alpha", 600, 610);
+  EXPECT_EQ(t.total_ns("alpha"), 260u);
+  EXPECT_EQ(t.total_ns("beta"), 100u);
+  EXPECT_EQ(t.count("alpha"), 2u);
+  EXPECT_EQ(t.count("gamma"), 0u);
+}
+
+TEST(ObsSpanTracer, DetachedSpanIsNoOp) {
+  ASSERT_EQ(SpanTracer::current(), nullptr);
+  { Span s("nobody-listening"); }  // must not crash or allocate a tracer
+  EXPECT_EQ(SpanTracer::current(), nullptr);
+}
+
+TEST(ObsSpanTracer, AttachedSpanRecordsAndDetachesOnDestruction) {
+  {
+    SpanTracer t(16);
+    SpanTracer::attach(&t);
+    { Span s("attached-phase"); }
+    EXPECT_EQ(t.count("attached-phase"), 1u);
+  }  // tracer destructor self-detaches
+  EXPECT_EQ(SpanTracer::current(), nullptr);
+}
+
+TEST(ObsSpanTracer, ChromeTraceJsonShape) {
+  SpanTracer t(16);
+  t.record("phase-a", 1000, 3000);
+  t.record("phase-b", 4000, 9000);
+  std::ostringstream out;
+  t.write_chrome_trace(out);
+  const std::string j = out.str();
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"phase-a\""), std::string::npos);
+  // Timestamps and durations are microseconds: 1000 ns -> 1 us, 2000 -> 2.
+  EXPECT_NE(j.find("\"ts\":1"), std::string::npos);
+  EXPECT_NE(j.find("\"dur\":2"), std::string::npos);
+  EXPECT_EQ(j.front(), '{');
+}
+
+// --- Pipeline span nesting --------------------------------------------------
+
+std::string scratch_path(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("tiv_test_obs_" + tag + "_" +
+           std::to_string(
+               ::testing::UnitTest::GetInstance()->random_seed()) +
+           ".tiles"))
+      .string();
+}
+
+TEST(ObsPipeline, EngineEpochSpanNestsItsPhases) {
+  set_parallel_thread_count(2);
+  SpanTracer tracer(1 << 10);
+  SpanTracer::attach(&tracer);
+
+  stream::DelayStream ds(tiv::test::random_matrix(24, 0.2, 77));
+  stream::ShardStreamConfig cfg;
+  cfg.tile_dim = 16;
+  cfg.input_path = scratch_path("nest_in");
+  cfg.sink_path = scratch_path("nest_out");
+  stream::ShardStreamEngine engine(ds.matrix(), cfg);
+  // The initial build records band-pair-stream spans of its own; start the
+  // epoch-nesting check from a clean ring.
+  tracer.clear();
+
+  const std::vector<stream::DelaySample> batch = {{0, 1, 50.0f, 0.0},
+                                                  {2, 19, 60.0f, 0.0}};
+  ds.ingest(std::span<const stream::DelaySample>(batch));
+  const stream::Epoch epoch = ds.commit_epoch();
+  ASSERT_FALSE(epoch.dirty_hosts.empty());
+  engine.apply_epoch(ds.matrix(), epoch.dirty_hosts);
+  SpanTracer::attach(nullptr);
+
+  const std::vector<TraceEvent> evs = tracer.events();
+  const TraceEvent* epoch_ev = nullptr;
+  for (const TraceEvent& e : evs) {
+    if (std::string_view(e.name) == "epoch") epoch_ev = &e;
+  }
+  ASSERT_NE(epoch_ev, nullptr);
+  EXPECT_GT(epoch_ev->dur_ns, 0u);
+
+  EXPECT_EQ(tracer.count("ingest"), 1u);  // the one batch ingested above
+  EXPECT_GE(tracer.count("tile-repack"), 1u);
+  EXPECT_GE(tracer.count("band-pair-stream"), 1u);
+  EXPECT_GE(tracer.count("sink-commit"), 1u);
+
+  // RAII containment: every child phase ran on the epoch's thread, inside
+  // the epoch span's [start, start + dur] window, and took measurable time.
+  const std::uint64_t epoch_end = epoch_ev->start_ns + epoch_ev->dur_ns;
+  for (const TraceEvent& e : evs) {
+    const std::string_view name(e.name);
+    if (name != "tile-repack" && name != "band-pair-stream" &&
+        name != "sink-commit") {
+      continue;
+    }
+    EXPECT_EQ(e.tid, epoch_ev->tid) << name;
+    EXPECT_GE(e.start_ns, epoch_ev->start_ns) << name;
+    EXPECT_LE(e.start_ns + e.dur_ns, epoch_end) << name;
+    EXPECT_GT(e.dur_ns, 0u) << name;
+  }
+  set_parallel_thread_count(0);
+}
+
+}  // namespace
+}  // namespace tiv::obs
