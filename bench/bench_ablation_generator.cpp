@@ -11,6 +11,8 @@
 #include "core/severity.hpp"
 #include "delayspace/clustering.hpp"
 #include "delayspace/generate.hpp"
+#include "routing/policy_routing.hpp"
+#include "topology/generator.hpp"
 #include "util/flags.hpp"
 
 namespace {
@@ -52,8 +54,31 @@ int main(int argc, char** argv) {
   params.topology.seed ^= cfg.seed;
   params.hosts.seed ^= cfg.seed;
 
-  const auto policy_space = delayspace::generate_delay_space(params);
+  // Build the routing substrate explicitly (generate_delay_space would do
+  // the same internally) so the route-class mix of the ablated topology is
+  // reportable: the class counts are the structural fingerprint the i.i.d.
+  // variant erases.
+  const auto graph = topology::generate_topology(params.topology);
+  const routing::PolicyRoutingMatrix policy(graph);
+  const auto policy_space =
+      delayspace::generate_hosts_over(graph, policy, params.hosts);
   const auto iid_space = delayspace::generate_iid_inflation(params);
+
+  const routing::RouteClassCounts& classes = policy.class_counts();
+  print_section(std::cout, "Route-class mix (policy substrate)");
+  Table class_table({"class", "routes", "fraction"});
+  const char* class_names[] = {"customer", "peer", "provider"};
+  const routing::RouteClass class_ids[] = {routing::RouteClass::kCustomer,
+                                           routing::RouteClass::kPeer,
+                                           routing::RouteClass::kProvider};
+  for (int c = 0; c < 3; ++c) {
+    class_table.add_row(
+        {class_names[c], std::to_string(classes.of(class_ids[c])),
+         format_double(policy.class_fraction(class_ids[c]), 4)});
+  }
+  class_table.add_row(
+      {"unreachable", std::to_string(classes.unreachable), "-"});
+  emit(class_table, cfg);
 
   Table table({"metric", "policy-routing", "iid-inflation"});
   std::vector<std::string> names{"policy-routing", "iid-inflation"};

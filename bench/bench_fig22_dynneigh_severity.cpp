@@ -3,6 +3,7 @@
 // shifts the distribution left — the alert-driven neighbor update steadily
 // eliminates severe-TIV edges from the probing sets.
 #include <iostream>
+#include <optional>
 
 #include "bench_common.hpp"
 #include "core/dynamic_neighbor.hpp"
@@ -18,6 +19,9 @@ int main(int argc, char** argv) {
   const auto period =
       static_cast<std::uint32_t>(flags.get_int("period", 100));
   reject_unknown_flags(flags);
+
+  std::optional<JsonArrayWriter> json;
+  if (cfg.json) json.emplace(std::cout);
 
   const auto space = make_space(delayspace::DatasetId::kDs2, cfg);
   const core::TivAnalyzer analyzer(space.measured);
@@ -40,6 +44,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> names;
   std::vector<Cdf> cdfs;
+  std::vector<double> means;
   const std::vector<std::uint32_t> snapshots{0, 1, 2, 5, 10};
   std::uint32_t done = 0;
   for (std::uint32_t snap : snapshots) {
@@ -49,14 +54,24 @@ int main(int argc, char** argv) {
     }
     names.push_back("iter" + std::to_string(snap));
     cdfs.push_back(severity_cdf());
-    std::cout << "iteration " << snap << ": mean neighbor-edge severity = "
-              << format_double(
-                     summarize(cdfs.back().sorted_values()).mean, 4)
-              << "\n";
+    means.push_back(summarize(cdfs.back().sorted_values()).mean);
+    (cfg.json ? std::cerr : std::cout)
+        << "iteration " << snap << ": mean neighbor-edge severity = "
+        << format_double(means.back(), 4) << "\n";
   }
 
   const std::vector<double> grid{0.0,  0.01, 0.02, 0.05, 0.10,
                                  0.15, 0.20, 0.30, 0.40, 0.50};
+  if (cfg.json) {
+    for (std::size_t s = 0; s < snapshots.size(); ++s) {
+      json->object()
+          .field("section", std::string("iteration"))
+          .field("iteration", snapshots[s])
+          .field("mean_severity", means[s], 4);
+    }
+    emit_cdf_grid_json(*json, "severity_cdf", names, cdfs, grid);
+    return 0;
+  }
   print_cdfs_on_grid(
       "Figure 22: TIV severity CDF of Vivaldi neighbor edges per iteration",
       names, cdfs, grid, cfg);

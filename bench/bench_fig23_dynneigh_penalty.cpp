@@ -3,6 +3,7 @@
 // improve monotonically with iterations; by iteration 10 the curve clearly
 // dominates original Vivaldi — unlike every strawman in §4.
 #include <iostream>
+#include <optional>
 
 #include "bench_common.hpp"
 #include "core/dynamic_neighbor.hpp"
@@ -19,6 +20,9 @@ int main(int argc, char** argv) {
   const auto runs = static_cast<std::uint32_t>(flags.get_int("runs", 5));
   reject_unknown_flags(flags);
 
+  std::optional<JsonArrayWriter> json;
+  if (cfg.json) json.emplace(std::cout);
+
   const auto space = make_space(delayspace::DatasetId::kDs2, cfg);
   const auto n = space.measured.size();
 
@@ -27,8 +31,9 @@ int main(int argc, char** argv) {
   sp.runs = runs;
   sp.seed = 77 ^ cfg.seed;
   const neighbor::SelectionExperiment exp(space.measured, sp);
-  std::cout << "hosts: " << n << ", candidates: " << sp.num_candidates
-            << ", runs: " << runs << "\n";
+  (cfg.json ? std::cerr : std::cout)
+      << "hosts: " << n << ", candidates: " << sp.num_candidates
+      << ", runs: " << runs << "\n";
 
   embedding::VivaldiParams vp;
   vp.seed = 3 ^ cfg.seed;
@@ -57,6 +62,12 @@ int main(int argc, char** argv) {
     cdfs.push_back(penalty_cdf());
   }
 
+  if (cfg.json) {
+    emit_cdf_grid_json(*json, "penalty_cdf", names, cdfs,
+                       log_grid(1.0, 10000.0), 0);
+    emit_cdf_quantiles_json(*json, "penalty_quantiles", names, cdfs);
+    return 0;
+  }
   print_cdfs_on_grid(
       "Figure 23: neighbor selection, dynamic-neighbor Vivaldi",
       names, cdfs, log_grid(1.0, 10000.0), cfg, 0);

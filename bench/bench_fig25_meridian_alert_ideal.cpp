@@ -5,6 +5,7 @@
 // no-termination ideal at ~5% extra probes, because it copes with TIV
 // directly instead of merely probing more.
 #include <iostream>
+#include <optional>
 
 #include "bench_common.hpp"
 #include "core/tiv_aware.hpp"
@@ -22,6 +23,9 @@ int main(int argc, char** argv) {
   const auto runs = static_cast<std::uint32_t>(flags.get_int("runs", 3));
   reject_unknown_flags(flags);
 
+  std::optional<JsonArrayWriter> json;
+  if (cfg.json) json.emplace(std::cout);
+
   const auto space = make_space(delayspace::DatasetId::kDs2, cfg);
   const auto n = space.measured.size();
   const std::uint32_t m_nodes =
@@ -38,8 +42,9 @@ int main(int argc, char** argv) {
   p.seed = 99 ^ cfg.seed;
   p.meridian.ring_capacity = 100000;  // full rings
   p.meridian.num_rings = 20;
-  std::cout << "hosts: " << n << ", overlay: " << m_nodes
-            << " (full rings), runs: " << runs << "\n";
+  (cfg.json ? std::cerr : std::cout)
+      << "hosts: " << n << ", overlay: " << m_nodes << " (full rings), runs: "
+      << runs << "\n";
 
   const auto original = neighbor::run_meridian_experiment(space.measured, p);
 
@@ -52,6 +57,30 @@ int main(int argc, char** argv) {
   p_ideal.meridian.use_termination = false;
   const auto ideal =
       neighbor::run_meridian_experiment(space.measured, p_ideal);
+
+  if (cfg.json) {
+    const std::vector<std::string> names{
+        "Meridian-original", "Meridian-TIV-alert", "Meridian-no-termination"};
+    const neighbor::MeridianExperimentResult* results[] = {&original, &alert,
+                                                           &ideal};
+    emit_cdf_grid_json(*json, "penalty_cdf", names,
+                       {original.penalties, alert.penalties, ideal.penalties},
+                       log_grid(1.0, 10000.0), 0);
+    for (int s = 0; s < 3; ++s) {
+      json->object()
+          .field("section", std::string("probes"))
+          .field("scheme", names[s])
+          .field("probes_per_query", results[s]->probes_per_query(), 1)
+          .field("overhead_pct",
+                 100.0 * (results[s]->probes_per_query() /
+                              original.probes_per_query() -
+                          1.0),
+                 1)
+          .field("fraction_optimal_found", results[s]->fraction_optimal_found,
+                 4);
+    }
+    return 0;
+  }
 
   print_cdfs_on_grid(
       "Figure 25: Meridian with TIV alert (200-node full-ring setting)",

@@ -9,7 +9,9 @@
 //   §2.2 within-cluster edges average fewer violations than cross-cluster
 //        (80 vs 206).
 #include <algorithm>
+#include <cmath>
 #include <iostream>
+#include <optional>
 
 #include "bench_common.hpp"
 #include "core/cluster_analysis.hpp"
@@ -27,17 +29,37 @@ int main(int argc, char** argv) {
   const BenchConfig cfg = parse_config(flags, 600);
   reject_unknown_flags(flags);
 
+  std::optional<JsonArrayWriter> json;
+  if (cfg.json) json.emplace(std::cout);
+
   const auto space = make_space(delayspace::DatasetId::kDs2, cfg);
   const auto& m = space.measured;
   const core::TivAnalyzer analyzer(m);
-  std::cout << "dataset: " << m.size() << " hosts\n";
+  (cfg.json ? std::cerr : std::cout) << "dataset: " << m.size() << " hosts\n";
 
   Table table({"claim", "measured", "paper"});
+  // Each claim lands in the table and, under --json, as one flat record
+  // {"section":"claim","name":...,"measured":...,"paper":...} so CI can
+  // assert on individual values. NaN marks a claim that could not be
+  // computed at this scale (emitted with measured_valid:false).
+  auto claim = [&](const std::string& name, double measured, int decimals,
+                   const std::string& paper) {
+    const bool valid = !std::isnan(measured);
+    table.add_row({name, valid ? format_double(measured, decimals) : "-",
+                   paper});
+    if (cfg.json) {
+      json->object()
+          .field("section", std::string("claim"))
+          .field("name", name)
+          .field("measured", valid ? measured : 0.0, decimals)
+          .field_bool("measured_valid", valid)
+          .field("paper", paper);
+    }
+  };
 
   // --- Violating triangle fraction.
-  table.add_row({"violating triangle fraction",
-                 format_double(analyzer.violating_triangle_fraction(500000), 3),
-                 "0.12"});
+  claim("violating triangle fraction",
+        analyzer.violating_triangle_fraction(500000), 3, "0.12");
 
   // --- Severity-metric critique over sampled edges.
   {
@@ -75,13 +97,11 @@ int main(int argc, char** argv) {
         top_frac_low_ratio += e.mean_ratio <= ratio_p10;
       }
     }
-    table.add_row(
-        {"top-10%-by-#TIV edges with bottom-10% mean ratio",
-         top_frac == 0 ? "-"
-                       : format_double(static_cast<double>(top_frac_low_ratio) /
-                                           static_cast<double>(top_frac),
-                                       2),
-         "0.16"});
+    claim("top-10%-by-#TIV edges with bottom-10% mean ratio",
+          top_frac == 0 ? std::nan("")
+                        : static_cast<double>(top_frac_low_ratio) /
+                              static_cast<double>(top_frac),
+          2, "0.16");
     // Top 10% by mean ratio causing < 3 violations.
     const double ratio_p90 = percentile(nonzero_ratios, 90);
     std::size_t top_ratio = 0;
@@ -92,13 +112,11 @@ int main(int argc, char** argv) {
         top_ratio_few += e.violations < 3;
       }
     }
-    table.add_row(
-        {"top-10%-by-ratio edges causing <3 TIVs",
-         top_ratio == 0 ? "-"
-                        : format_double(static_cast<double>(top_ratio_few) /
-                                            static_cast<double>(top_ratio),
-                                        2),
-         "0.64"});
+    claim("top-10%-by-ratio edges causing <3 TIVs",
+          top_ratio == 0 ? std::nan("")
+                         : static_cast<double>(top_ratio_few) /
+                               static_cast<double>(top_ratio),
+          2, "0.64");
   }
 
   // --- Vivaldi error and movement.
@@ -111,14 +129,10 @@ int main(int argc, char** argv) {
     for (int t = 0; t < 100; ++t) rec.record(sys.tick());
     const auto err = sys.snapshot_error(200000).absolute_error();
     const auto speed = rec.speed_summary();
-    table.add_row({"Vivaldi median abs error (ms)",
-                   format_double(err.median, 1), "20"});
-    table.add_row({"Vivaldi 90th abs error (ms)", format_double(err.p90, 1),
-                   "140"});
-    table.add_row({"median movement (ms/step)", format_double(speed.median, 2),
-                   "1.61"});
-    table.add_row({"90th movement (ms/step)", format_double(speed.p90, 2),
-                   "6.18"});
+    claim("Vivaldi median abs error (ms)", err.median, 1, "20");
+    claim("Vivaldi 90th abs error (ms)", err.p90, 1, "140");
+    claim("median movement (ms/step)", speed.median, 2, "1.61");
+    claim("90th movement (ms/step)", speed.p90, 2, "6.18");
   }
 
   // --- Cluster violation counts.
@@ -126,12 +140,13 @@ int main(int argc, char** argv) {
     const auto clustering = delayspace::cluster_delay_space(m, {});
     const core::SeverityMatrix sev = analyzer.all_severities();
     const auto stats = core::cluster_tiv_stats(m, sev, clustering, 4000);
-    table.add_row({"mean #TIVs, within-cluster edges",
-                   format_double(stats.mean_violations_within, 0), "80"});
-    table.add_row({"mean #TIVs, cross-cluster edges",
-                   format_double(stats.mean_violations_cross, 0), "206"});
+    claim("mean #TIVs, within-cluster edges", stats.mean_violations_within,
+          0, "80");
+    claim("mean #TIVs, cross-cluster edges", stats.mean_violations_cross, 0,
+          "206");
   }
 
+  if (cfg.json) return 0;
   print_section(std::cout, "In-text claims: paper vs this reproduction");
   emit(table, cfg);
   std::cout << "(absolute values depend on the synthetic matrix scale; the "

@@ -12,9 +12,11 @@
 
 namespace tiv::delayspace {
 
-/// All-pairs shortest overlay paths (Floyd-Warshall, parallelized inner
-/// loops). Missing direct measurements are treated as absent edges; a pair
-/// is still reachable through intermediate hosts. O(N^3) time, O(N^2) space.
+/// All-pairs shortest overlay paths (blocked Floyd-Warshall over a flat
+/// float buffer: sequential k, row-block x column-tile relaxation in
+/// parallel — bit-identical to the textbook row sweep). Missing direct
+/// measurements are treated as absent edges; a pair is still reachable
+/// through intermediate hosts. O(N^3) time, O(N^2) space.
 class OverlayPaths {
  public:
   explicit OverlayPaths(const DelayMatrix& matrix);

@@ -1,8 +1,13 @@
 #include "routing/policy_routing.hpp"
 
+#include <atomic>
+#include <cstdint>
+#include <limits>
 #include <queue>
 #include <tuple>
+#include <utility>
 
+#include "routing/graph_engine.hpp"
 #include "util/parallel.hpp"
 
 namespace tiv::routing {
@@ -27,9 +32,42 @@ struct Key {
 
 using MinQueue = std::priority_queue<Key, std::vector<Key>, std::greater<>>;
 
+/// One parallel pass over the flat route buffer: per-chunk local totals,
+/// one atomic merge per chunk (self cells src == dest excluded).
+RouteClassCounts count_classes(const std::vector<Route>& cells, std::size_t n,
+                               const std::vector<AsId>& dests) {
+  std::array<std::atomic<std::uint64_t>, 4> totals{};
+  if (n != 0) {
+    parallel_for_dynamic(
+        dests.size(), /*grain=*/1, [&](std::size_t begin, std::size_t end) {
+          std::array<std::uint64_t, 4> local{};
+          for (std::size_t r = begin; r < end; ++r) {
+            const AsId dest = dests[r];
+            const Route* row = cells.data() + r * n;
+            for (std::size_t src = 0; src < n; ++src) {
+              if (src == dest) continue;
+              ++local[static_cast<std::size_t>(row[src].cls)];
+            }
+          }
+          for (std::size_t i = 0; i < totals.size(); ++i) {
+            totals[i].fetch_add(local[i], std::memory_order_relaxed);
+          }
+        });
+  }
+  RouteClassCounts counts;
+  for (std::size_t i = 0; i < counts.counts.size(); ++i) {
+    counts.counts[i] = totals[i].load(std::memory_order_relaxed);
+  }
+  counts.unreachable = totals[3].load(std::memory_order_relaxed);
+  return counts;
+}
+
 }  // namespace
 
-// Three phases, each a monotone lexicographic Dijkstra:
+// Scalar reference implementation — three phases, each a monotone
+// lexicographic Dijkstra. The batched engine (routing/graph_engine.cpp)
+// must reproduce these rows exactly; keep the two in lockstep when
+// touching either.
 //
 //  1. Customer routes. A route reaches v "from below" through a chain of
 //     provider->customer steps ending at dest. Announcements flow up the
@@ -131,28 +169,23 @@ std::vector<Route> policy_routes_to(const AsGraph& graph, AsId dest) {
   return best;
 }
 
-PolicyRoutingMatrix::PolicyRoutingMatrix(const AsGraph& graph) {
-  to_dest_.resize(graph.size());
-  parallel_for(graph.size(), [&](std::size_t dest) {
-    to_dest_[dest] = policy_routes_to(graph, static_cast<AsId>(dest));
-  });
+PolicyRoutingMatrix::PolicyRoutingMatrix(const AsGraph& graph)
+    : n_(graph.size()), cells_(graph.size() * graph.size()) {
+  const std::vector<AsId> dests = all_nodes(graph);
+  policy_routes_batch(graph, dests, cells_.data());
+  class_counts_ = count_classes(cells_, n_, dests);
 }
 
-double PolicyRoutingMatrix::class_fraction(RouteClass cls) const {
-  std::size_t match = 0;
-  std::size_t reachable = 0;
-  for (std::size_t d = 0; d < to_dest_.size(); ++d) {
-    for (std::size_t s = 0; s < to_dest_.size(); ++s) {
-      if (s == d) continue;
-      const Route& r = to_dest_[d][s];
-      if (!r.reachable()) continue;
-      ++reachable;
-      match += r.cls == cls;
-    }
+PolicyRoutingMatrix::PolicyRoutingMatrix(const AsGraph& graph,
+                                         std::vector<AsId> dests)
+    : n_(graph.size()),
+      cells_(dests.size() * graph.size()),
+      row_index_(graph.size(), std::numeric_limits<std::uint32_t>::max()) {
+  for (std::size_t r = 0; r < dests.size(); ++r) {
+    row_index_[dests[r]] = static_cast<std::uint32_t>(r);
   }
-  return reachable == 0 ? 0.0
-                        : static_cast<double>(match) /
-                              static_cast<double>(reachable);
+  policy_routes_batch(graph, dests, cells_.data());
+  class_counts_ = count_classes(cells_, n_, dests);
 }
 
 }  // namespace tiv::routing

@@ -1,14 +1,20 @@
 #include "routing/shortest_path.hpp"
 
+#include <cstdint>
+#include <limits>
 #include <queue>
+#include <utility>
 
-#include "util/parallel.hpp"
+#include "routing/graph_engine.hpp"
 
 namespace tiv::routing {
 
 using topology::AsGraph;
 using topology::AsId;
 
+// Scalar reference implementation. The batched engine
+// (routing/graph_engine.cpp) must reproduce these rows exactly; keep the
+// two in lockstep when touching either.
 std::vector<PathInfo> shortest_paths_from(const AsGraph& graph, AsId src) {
   std::vector<PathInfo> dist(graph.size());
   using Item = std::pair<double, AsId>;  // (delay, node)
@@ -33,11 +39,20 @@ std::vector<PathInfo> shortest_paths_from(const AsGraph& graph, AsId src) {
   return dist;
 }
 
-ShortestPathMatrix::ShortestPathMatrix(const AsGraph& graph) {
-  rows_.resize(graph.size());
-  parallel_for(graph.size(), [&](std::size_t src) {
-    rows_[src] = shortest_paths_from(graph, static_cast<AsId>(src));
-  });
+ShortestPathMatrix::ShortestPathMatrix(const AsGraph& graph)
+    : n_(graph.size()), cells_(graph.size() * graph.size()) {
+  shortest_paths_batch(graph, all_nodes(graph), cells_.data());
+}
+
+ShortestPathMatrix::ShortestPathMatrix(const AsGraph& graph,
+                                       std::vector<AsId> sources)
+    : n_(graph.size()),
+      cells_(sources.size() * graph.size()),
+      row_index_(graph.size(), std::numeric_limits<std::uint32_t>::max()) {
+  for (std::size_t r = 0; r < sources.size(); ++r) {
+    row_index_[sources[r]] = static_cast<std::uint32_t>(r);
+  }
+  shortest_paths_batch(graph, sources, cells_.data());
 }
 
 }  // namespace tiv::routing

@@ -22,25 +22,50 @@ struct PathInfo {
 };
 
 /// Single-source Dijkstra minimizing delay (hops recorded along the chosen
-/// path, used for diagnostics).
+/// path, used for diagnostics). This is the scalar reference the batched
+/// engine (routing/graph_engine.hpp) is differentially tested against.
 std::vector<PathInfo> shortest_paths_from(const topology::AsGraph& graph,
                                           topology::AsId src);
 
-/// All-pairs shortest delays, parallelized over sources.
+/// Shortest delays from a set of sources (all of them by default), stored
+/// as one flat row-major buffer of num_sources() x size() cells and built
+/// by the batched multi-source engine.
 class ShortestPathMatrix {
  public:
+  /// All-pairs: one row per AS, row index == source id.
   explicit ShortestPathMatrix(const topology::AsGraph& graph);
+  /// Source subset: rows follow `sources` order; accessors accept the
+  /// original AS ids. Routing thousands of sources over a large topology
+  /// no longer materializes all pairs.
+  ShortestPathMatrix(const topology::AsGraph& graph,
+                     std::vector<topology::AsId> sources);
 
   double delay(topology::AsId a, topology::AsId b) const {
-    return rows_[a][b].delay_ms;
+    return cells_[row_of(a) * n_ + b].delay_ms;
   }
   const PathInfo& info(topology::AsId a, topology::AsId b) const {
-    return rows_[a][b];
+    return cells_[row_of(a) * n_ + b];
   }
-  std::size_t size() const { return rows_.size(); }
+  /// Full row of one source (size() entries), for bulk consumers.
+  const PathInfo* row(topology::AsId a) const {
+    return cells_.data() + row_of(a) * n_;
+  }
+
+  /// Number of ASes in the underlying graph (columns per row).
+  std::size_t size() const { return n_; }
+  /// Number of materialized source rows (== size() for all-pairs).
+  std::size_t num_sources() const { return cells_.size() / (n_ ? n_ : 1); }
 
  private:
-  std::vector<std::vector<PathInfo>> rows_;
+  std::size_t row_of(topology::AsId a) const {
+    return row_index_.empty() ? a : row_index_[a];
+  }
+
+  std::size_t n_ = 0;
+  std::vector<PathInfo> cells_;  ///< row-major num_sources x n
+  /// Source id -> row. Empty for all-pairs (identity); for subsets,
+  /// unmapped sources hold kNoRow and accessing them is undefined.
+  std::vector<std::uint32_t> row_index_;
 };
 
 }  // namespace tiv::routing

@@ -3,9 +3,19 @@
 // delays and Gao-Rexford business relationships (customer-provider or
 // peer-peer). The routing module computes valley-free policy paths over this
 // graph; the delayspace module attaches end hosts to it.
+//
+// Storage is a flat CSR (compressed sparse row) adjacency, role-segmented
+// per node: the entries of node v occupy [offset_[v], offset_[v+1]) in three
+// contiguous runs — providers, then customers, then peers — across separate
+// structure-of-arrays lanes (neighbor_, delay_ms_, data_delay_ms_). The
+// three policy-routing phases each scan exactly one segment with no role
+// branch, and role counts are O(1) segment widths instead of per-call scans.
+// adjacent(v) remains source-compatible with the seed vector-of-Adjacency
+// API via a lightweight iterable view.
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <vector>
 
 namespace tiv::topology {
@@ -49,7 +59,7 @@ struct AsLink {
 /// How a link looks from one endpoint's perspective.
 enum class Role : std::uint8_t { kToProvider, kToCustomer, kToPeer };
 
-/// One adjacency entry of a node.
+/// One adjacency entry of a node (materialized from the CSR lanes).
 struct Adjacency {
   AsId neighbor = 0;
   Role role = Role::kToPeer;
@@ -57,11 +67,12 @@ struct Adjacency {
   double data_delay_ms = 0.0;  ///< experienced delay (delay_ms * congestion)
 };
 
-/// Immutable AS graph with per-node adjacency lists.
+/// Immutable AS graph with role-segmented CSR adjacency.
 ///
 /// Invariants (checked by validate()): link endpoints are in range and
-/// distinct, delays are positive, and the customer-provider relation is
-/// acyclic (no AS is, transitively, its own provider).
+/// distinct, delays are positive, the customer-provider relation is acyclic
+/// (no AS is, transitively, its own provider), and the CSR arrays are
+/// exactly the segment layout the links imply.
 class AsGraph {
  public:
   AsGraph(std::vector<AsNode> nodes, std::vector<AsLink> links);
@@ -71,22 +82,126 @@ class AsGraph {
   const std::vector<AsNode>& nodes() const { return nodes_; }
   const std::vector<AsLink>& links() const { return links_; }
 
+  /// One role segment of a node's adjacency: `count` parallel-lane entries.
+  /// The batched routing engine consumes these directly; relative order
+  /// within a segment is link insertion order (stable across rebuilds).
+  struct Segment {
+    const AsId* neighbor = nullptr;
+    const double* delay_ms = nullptr;
+    const double* data_delay_ms = nullptr;
+    std::uint32_t count = 0;
+  };
+  Segment providers(AsId v) const {
+    return segment(offset_[v], cust_begin_[v]);
+  }
+  Segment customers(AsId v) const {
+    return segment(cust_begin_[v], peer_begin_[v]);
+  }
+  Segment peers(AsId v) const { return segment(peer_begin_[v], offset_[v + 1]); }
+  /// Every entry of v as one segment (the three role runs are contiguous),
+  /// for role-oblivious consumers like the shortest-path engine.
+  Segment neighbors(AsId v) const { return segment(offset_[v], offset_[v + 1]); }
+
+  /// Iterable view over all adjacency entries of one node, in segment order
+  /// (providers, customers, peers). Source-compatible with the seed
+  /// vector<Adjacency> API: range-for, size(), operator[].
+  class AdjacencyView {
+   public:
+    class iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = Adjacency;
+      using difference_type = std::ptrdiff_t;
+      using pointer = const Adjacency*;
+      using reference = Adjacency;
+
+      iterator(const AsGraph* g, AsId v, std::uint32_t i)
+          : g_(g), v_(v), i_(i) {}
+      Adjacency operator*() const { return g_->entry(v_, i_); }
+      iterator& operator++() {
+        ++i_;
+        return *this;
+      }
+      iterator operator++(int) {
+        iterator old = *this;
+        ++i_;
+        return old;
+      }
+      bool operator==(const iterator& o) const { return i_ == o.i_; }
+      bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+     private:
+      const AsGraph* g_;
+      AsId v_;
+      std::uint32_t i_;
+    };
+
+    AdjacencyView(const AsGraph* g, AsId v) : g_(g), v_(v) {}
+    iterator begin() const { return {g_, v_, g_->offset_[v_]}; }
+    iterator end() const { return {g_, v_, g_->offset_[v_ + 1]}; }
+    std::size_t size() const {
+      return g_->offset_[v_ + 1] - g_->offset_[v_];
+    }
+    bool empty() const { return size() == 0; }
+    Adjacency operator[](std::size_t i) const {
+      return g_->entry(v_,
+                       g_->offset_[v_] + static_cast<std::uint32_t>(i));
+    }
+
+   private:
+    const AsGraph* g_;
+    AsId v_;
+  };
+
   /// All neighbors of v with the relationship seen from v's side.
-  const std::vector<Adjacency>& adjacent(AsId v) const { return adj_[v]; }
+  AdjacencyView adjacent(AsId v) const { return {this, v}; }
 
   /// Number of links in which v is the customer / provider / a peer.
-  std::size_t provider_count(AsId v) const;
-  std::size_t customer_count(AsId v) const;
-  std::size_t peer_count(AsId v) const;
+  /// O(1): segment widths precomputed at build time.
+  std::size_t provider_count(AsId v) const {
+    return cust_begin_[v] - offset_[v];
+  }
+  std::size_t customer_count(AsId v) const {
+    return peer_begin_[v] - cust_begin_[v];
+  }
+  std::size_t peer_count(AsId v) const {
+    return offset_[v + 1] - peer_begin_[v];
+  }
+  std::size_t degree(AsId v) const { return offset_[v + 1] - offset_[v]; }
 
   /// Throws std::logic_error when a structural invariant is broken. Intended
   /// for generator tests; generated graphs always pass.
   void validate() const;
 
  private:
+  Segment segment(std::uint32_t begin, std::uint32_t end) const {
+    return {neighbor_.data() + begin, delay_ms_.data() + begin,
+            data_delay_ms_.data() + begin, end - begin};
+  }
+  /// Materializes entry i (a CSR index inside v's range) of node v.
+  Adjacency entry(AsId v, std::uint32_t i) const {
+    Role role = Role::kToPeer;
+    if (i < cust_begin_[v]) {
+      role = Role::kToProvider;
+    } else if (i < peer_begin_[v]) {
+      role = Role::kToCustomer;
+    }
+    return {neighbor_[i], role, delay_ms_[i], data_delay_ms_[i]};
+  }
+
   std::vector<AsNode> nodes_;
   std::vector<AsLink> links_;
-  std::vector<std::vector<Adjacency>> adj_;
+
+  // CSR arrays. Node v's entries are [offset_[v], offset_[v+1]), split as
+  //   providers [offset_[v], cust_begin_[v])
+  //   customers [cust_begin_[v], peer_begin_[v])
+  //   peers     [peer_begin_[v], offset_[v+1])
+  std::vector<std::uint32_t> offset_;      ///< size n+1
+  std::vector<std::uint32_t> cust_begin_;  ///< size n
+  std::vector<std::uint32_t> peer_begin_;  ///< size n
+  std::vector<AsId> neighbor_;
+  std::vector<double> delay_ms_;
+  std::vector<double> data_delay_ms_;
 };
 
 }  // namespace tiv::topology

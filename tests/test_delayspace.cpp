@@ -2,7 +2,9 @@
 // shortest paths.
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <stdexcept>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -261,6 +263,40 @@ TEST(Overlay, HandlesMissingDirectEdges) {
   // 0-2 missing: reachable through 1.
   const OverlayPaths paths(m);
   EXPECT_FLOAT_EQ(paths.delay(0, 2), 10.0f);
+}
+
+TEST(Overlay, BlockedFwBitIdenticalToTextbookSweep) {
+  // The blocked/tiled Floyd-Warshall must match an unblocked serial row
+  // sweep bit-for-bit (EXPECT_EQ on floats, no tolerance): blocking changes
+  // memory order only, never a computed value.
+  const DelaySpace ds = generate_delay_space(small_space(150));
+  const DelayMatrix& m = ds.measured;
+  const std::size_t n = m.size();
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  std::vector<float> ref(n * n, kInf);
+  for (HostId i = 0; i < n; ++i) {
+    ref[static_cast<std::size_t>(i) * n + i] = 0.0f;
+    for (HostId j = 0; j < n; ++j) {
+      if (m.has(i, j)) ref[static_cast<std::size_t>(i) * n + j] = m.at(i, j);
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const float dik = ref[i * n + k];
+      if (dik == kInf) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float via = dik + ref[k * n + j];
+        if (via < ref[i * n + j]) ref[i * n + j] = via;
+      }
+    }
+  }
+  const OverlayPaths paths(m);
+  for (HostId i = 0; i < n; ++i) {
+    for (HostId j = 0; j < n; ++j) {
+      EXPECT_EQ(paths.delay(i, j), ref[static_cast<std::size_t>(i) * n + j])
+          << i << " -> " << j;
+    }
+  }
 }
 
 TEST(Overlay, MetricSpaceNeedsNoDetours) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "routing/graph_engine.hpp"
 #include "topology/generator.hpp"
 
 namespace tiv::routing {
@@ -248,6 +249,150 @@ TEST_P(PolicyOnGenerated, RouteClassMixIsSane) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PolicyOnGenerated,
                          ::testing::Values(1ULL, 17ULL, 123ULL));
+
+// --- Batched engine vs scalar reference ----------------------------------
+
+/// Every batched row must be exactly equal — operator== on each field, no
+/// tolerance — to the scalar reference. Both scan CSR segments in the same
+/// order and pop lexicographically minimal keys, so even delay ties must
+/// resolve identically.
+void expect_exact_parity(const AsGraph& g) {
+  const auto nodes = all_nodes(g);
+  const std::size_t n = g.size();
+  const auto batched_policy = policy_routes_batch(g, nodes);
+  const auto batched_sssp = shortest_paths_batch(g, nodes);
+  ASSERT_EQ(batched_policy.size(), n * n);
+  ASSERT_EQ(batched_sssp.size(), n * n);
+  for (AsId v = 0; v < n; ++v) {
+    const auto scalar_policy = policy_routes_to(g, v);
+    const auto scalar_sssp = shortest_paths_from(g, v);
+    for (AsId u = 0; u < n; ++u) {
+      const Route& b = batched_policy[static_cast<std::size_t>(v) * n + u];
+      EXPECT_EQ(b.cls, scalar_policy[u].cls) << v << " -> " << u;
+      EXPECT_EQ(b.hops, scalar_policy[u].hops) << v << " -> " << u;
+      EXPECT_EQ(b.delay_ms, scalar_policy[u].delay_ms) << v << " -> " << u;
+      EXPECT_EQ(b.data_delay_ms, scalar_policy[u].data_delay_ms)
+          << v << " -> " << u;
+      const PathInfo& p = batched_sssp[static_cast<std::size_t>(v) * n + u];
+      EXPECT_EQ(p.delay_ms, scalar_sssp[u].delay_ms) << v << " -> " << u;
+      EXPECT_EQ(p.hops, scalar_sssp[u].hops) << v << " -> " << u;
+    }
+  }
+}
+
+TEST(GraphEngine, SingleNodeGraph) {
+  expect_exact_parity(AsGraph(std::vector<AsNode>(1), {}));
+}
+
+TEST(GraphEngine, TinyGraphs) {
+  expect_exact_parity(line_graph());
+  // Peer triangle with one congested edge (n = 3 < 8).
+  std::vector<AsNode> nodes(3);
+  std::vector<AsLink> links{
+      {0, 1, LinkKind::kPeerPeer, 10.0, 1.0},
+      {1, 2, LinkKind::kPeerPeer, 10.0, 1.0},
+      {0, 2, LinkKind::kPeerPeer, 15.0, 5.0},
+  };
+  expect_exact_parity(AsGraph(nodes, links));
+}
+
+TEST(GraphEngine, DisconnectedStubs) {
+  // A small hierarchy plus two fully isolated stubs: unreachable cells must
+  // agree exactly (kNone routes, infinite delays) on both sides.
+  std::vector<AsNode> nodes(7);
+  std::vector<AsLink> links{
+      {0, 1, LinkKind::kCustomerProvider, 10.0, 1.0},
+      {1, 2, LinkKind::kCustomerProvider, 20.0, 1.0},
+      {3, 2, LinkKind::kCustomerProvider, 5.0, 2.0},
+      {0, 3, LinkKind::kPeerPeer, 8.0, 1.0},
+      // ASes 5 and 6 peer with each other but reach nobody else.
+      {5, 6, LinkKind::kPeerPeer, 2.0, 1.0},
+  };
+  expect_exact_parity(AsGraph(nodes, links));
+}
+
+TEST(GraphEngine, GeneratedTopologiesVariedTierMixes) {
+  struct Mix {
+    std::uint64_t seed;
+    double tier2_fraction;
+    std::uint32_t tier1_per_cluster;
+    double peering;
+  };
+  for (const Mix& mix : {Mix{5, 0.22, 2, 0.12}, Mix{29, 0.45, 1, 0.02},
+                         Mix{91, 0.10, 3, 0.40}}) {
+    topology::TopologyParams p;
+    p.num_ases = 70;
+    p.seed = mix.seed;
+    p.tier2_fraction = mix.tier2_fraction;
+    p.tier1_per_cluster = mix.tier1_per_cluster;
+    p.tier2_peering_same_cluster = mix.peering;
+    expect_exact_parity(generate_topology(p));
+  }
+}
+
+TEST(GraphEngine, EmptyBatchIsEmpty) {
+  const AsGraph g = line_graph();
+  EXPECT_TRUE(policy_routes_batch(g, {}).empty());
+  EXPECT_TRUE(shortest_paths_batch(g, {}).empty());
+}
+
+TEST(GraphEngine, SubsetRowsMatchAllPairs) {
+  const AsGraph g = generate_topology([] {
+    topology::TopologyParams p;
+    p.num_ases = 60;
+    p.seed = 11;
+    return p;
+  }());
+  const std::vector<AsId> subset{3, 0, 41, 17};
+  const ShortestPathMatrix sm_all(g);
+  const ShortestPathMatrix sm_sub(g, subset);
+  const PolicyRoutingMatrix pm_all(g);
+  const PolicyRoutingMatrix pm_sub(g, subset);
+  EXPECT_EQ(sm_all.num_sources(), g.size());
+  EXPECT_EQ(sm_sub.num_sources(), subset.size());
+  EXPECT_EQ(pm_sub.num_dests(), subset.size());
+  for (const AsId s : subset) {
+    for (AsId v = 0; v < g.size(); ++v) {
+      EXPECT_EQ(sm_sub.delay(s, v), sm_all.delay(s, v));
+      EXPECT_EQ(sm_sub.info(s, v).hops, sm_all.info(s, v).hops);
+      EXPECT_EQ(pm_sub.route(v, s).delay_ms, pm_all.route(v, s).delay_ms);
+      EXPECT_EQ(pm_sub.route(v, s).cls, pm_all.route(v, s).cls);
+    }
+  }
+}
+
+TEST(GraphEngine, ClassCountsMatchManualScan) {
+  const AsGraph g = generate_topology([] {
+    topology::TopologyParams p;
+    p.num_ases = 80;
+    p.seed = 23;
+    return p;
+  }());
+  const PolicyRoutingMatrix pm(g);
+  RouteClassCounts manual;
+  for (AsId d = 0; d < g.size(); ++d) {
+    for (AsId s = 0; s < g.size(); ++s) {
+      if (s == d) continue;
+      const Route& r = pm.route(s, d);
+      if (r.reachable()) {
+        ++manual.counts[static_cast<std::size_t>(r.cls)];
+      } else {
+        ++manual.unreachable;
+      }
+    }
+  }
+  const RouteClassCounts& counts = pm.class_counts();
+  EXPECT_EQ(counts.counts, manual.counts);
+  EXPECT_EQ(counts.unreachable, manual.unreachable);
+  EXPECT_EQ(counts.reachable(), manual.reachable());
+  // class_fraction reads the same counts.
+  for (const RouteClass cls : {RouteClass::kCustomer, RouteClass::kPeer,
+                               RouteClass::kProvider}) {
+    EXPECT_DOUBLE_EQ(pm.class_fraction(cls),
+                     static_cast<double>(manual.of(cls)) /
+                         static_cast<double>(manual.reachable()));
+  }
+}
 
 }  // namespace
 }  // namespace tiv::routing

@@ -36,6 +36,106 @@ TEST(AsGraph, AdjacencyRolesAreConsistent) {
   EXPECT_DOUBLE_EQ(g.adjacent(1)[1].data_delay_ms, 14.0);
 }
 
+// --- CSR segment invariants ----------------------------------------------
+
+/// The role segments must tile [offset(v), offset(v+1)) exactly, agree with
+/// the adjacent() view entry-for-entry, and reproduce every link twice (once
+/// per endpoint) with the role flipped across the link.
+void expect_csr_invariants(const AsGraph& g) {
+  std::size_t total_entries = 0;
+  // Per-link role tallies rebuilt from the raw link list.
+  std::vector<std::size_t> providers(g.size(), 0);
+  std::vector<std::size_t> customers(g.size(), 0);
+  std::vector<std::size_t> peers(g.size(), 0);
+  for (const auto& l : g.links()) {
+    if (l.kind == LinkKind::kCustomerProvider) {
+      ++providers[l.a];  // a sees b as provider
+      ++customers[l.b];
+    } else {
+      ++peers[l.a];
+      ++peers[l.b];
+    }
+  }
+  for (AsId v = 0; v < g.size(); ++v) {
+    const auto prov = g.providers(v);
+    const auto cust = g.customers(v);
+    const auto peer = g.peers(v);
+    const auto all = g.neighbors(v);
+    // Segment widths are the O(1) role counts and sum to the degree.
+    EXPECT_EQ(prov.count, g.provider_count(v));
+    EXPECT_EQ(cust.count, g.customer_count(v));
+    EXPECT_EQ(peer.count, g.peer_count(v));
+    EXPECT_EQ(prov.count + cust.count + peer.count, g.degree(v));
+    EXPECT_EQ(all.count, g.degree(v));
+    EXPECT_EQ(providers[v], g.provider_count(v)) << "node " << v;
+    EXPECT_EQ(customers[v], g.customer_count(v)) << "node " << v;
+    EXPECT_EQ(peers[v], g.peer_count(v)) << "node " << v;
+    // Segments are contiguous: providers, then customers, then peers, and
+    // neighbors(v) spans all three with shared lane pointers.
+    EXPECT_EQ(cust.neighbor, prov.neighbor + prov.count);
+    EXPECT_EQ(peer.neighbor, cust.neighbor + cust.count);
+    EXPECT_EQ(all.neighbor, prov.neighbor);
+    // The materialized adjacent() view walks the same entries in segment
+    // order with the derived role.
+    const auto view = g.adjacent(v);
+    ASSERT_EQ(view.size(), g.degree(v));
+    std::size_t i = 0;
+    for (const Adjacency& adj : view) {
+      const Role want = i < prov.count ? Role::kToProvider
+                        : i < prov.count + cust.count ? Role::kToCustomer
+                                                      : Role::kToPeer;
+      EXPECT_EQ(adj.role, want) << "node " << v << " entry " << i;
+      EXPECT_EQ(adj.neighbor, all.neighbor[i]);
+      EXPECT_DOUBLE_EQ(adj.delay_ms, all.delay_ms[i]);
+      EXPECT_DOUBLE_EQ(adj.data_delay_ms, all.data_delay_ms[i]);
+      ++i;
+    }
+    total_entries += g.degree(v);
+  }
+  // Every link contributes exactly two CSR entries.
+  EXPECT_EQ(total_entries, 2 * g.links().size());
+}
+
+TEST(AsGraph, CsrSegmentsOnHandBuiltGraph) {
+  std::vector<AsNode> nodes(5);
+  std::vector<AsLink> links{
+      {0, 1, LinkKind::kCustomerProvider, 5.0, 1.0},
+      {2, 1, LinkKind::kCustomerProvider, 3.0, 2.0},
+      {1, 3, LinkKind::kPeerPeer, 7.0, 1.0},
+      {0, 3, LinkKind::kCustomerProvider, 4.0, 1.5},
+      {2, 3, LinkKind::kPeerPeer, 9.0, 1.0},
+      // node 4 isolated: all segments empty.
+  };
+  const AsGraph g(nodes, links);
+  expect_csr_invariants(g);
+  // Within-segment order is link insertion order: node 1's customers are
+  // 0 then 2; node 3's peers are 1 then 2.
+  ASSERT_EQ(g.customers(1).count, 2u);
+  EXPECT_EQ(g.customers(1).neighbor[0], 0u);
+  EXPECT_EQ(g.customers(1).neighbor[1], 2u);
+  ASSERT_EQ(g.peers(3).count, 2u);
+  EXPECT_EQ(g.peers(3).neighbor[0], 1u);
+  EXPECT_EQ(g.peers(3).neighbor[1], 2u);
+  EXPECT_EQ(g.degree(4), 0u);
+  EXPECT_EQ(g.neighbors(4).count, 0u);
+}
+
+TEST(AsGraph, CsrSegmentsOnGeneratedGraphs) {
+  for (std::uint64_t seed : {2ULL, 13ULL, 77ULL}) {
+    expect_csr_invariants(generate_topology(small_params(seed)));
+  }
+}
+
+TEST(AsGraph, ValidateChecksCsrLayout) {
+  // validate() must accept the generator output (its CSR rebuild-and-compare
+  // sweep passes) at several scales.
+  for (std::uint32_t n : {20u, 120u}) {
+    TopologyParams p = small_params(n);
+    p.num_ases = n;
+    EXPECT_NO_THROW(generate_topology(p).validate());
+  }
+}
+
 TEST(AsGraph, ValidateRejectsSelfLink) {
   std::vector<AsNode> nodes(2);
   std::vector<AsLink> links{{0, 0, LinkKind::kPeerPeer, 1.0, 1.0}};
