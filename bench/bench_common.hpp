@@ -11,6 +11,7 @@
 //               cfg.json — the kernel benches are JSON-only regardless)
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -18,6 +19,7 @@
 #include <functional>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -126,6 +128,16 @@ inline void print_bins(const std::string& title, const std::vector<Bin>& bins,
   emit(table, c);
 }
 
+/// Repeated-timing summary: min-of-k (the regression-gate number — least
+/// noise-contaminated), plus mean and relative spread so a baseline diff
+/// can tell a real regression from a noisy box.
+struct Timing {
+  double best_ms = 0.0;  ///< minimum over reps — the gated metric
+  double mean_ms = 0.0;
+  double spread = 0.0;  ///< (max - min) / min; 0 when min is 0
+  int reps = 1;
+};
+
 /// Streaming emitter for the machine-checkable kernel benches: a JSON array
 /// of flat records, one object per measurement, so future PRs can diff
 /// trajectories with jq instead of parsing aligned tables.
@@ -140,9 +152,18 @@ class JsonArrayWriter {
   class Object {
    public:
     explicit Object(std::ostream& out) : out_(out) { out_ << "{"; }
-    ~Object() { out_ << "}"; }
+    /// Move transfers the close-brace duty (lets factories like
+    /// BenchReport::meta return a prefilled record for the caller to
+    /// extend); the moved-from object writes nothing.
+    Object(Object&& o) noexcept : out_(o.out_), first_(o.first_) {
+      o.active_ = false;
+    }
+    ~Object() {
+      if (active_) out_ << "}";
+    }
     Object(const Object&) = delete;
     Object& operator=(const Object&) = delete;
+    Object& operator=(Object&&) = delete;
 
     /// One template for every integer type (size_t is unsigned long on
     /// LP64 glibc but unsigned long long elsewhere; per-type overloads
@@ -182,6 +203,14 @@ class JsonArrayWriter {
       sep() << quoted(key) << ":" << (v ? "true" : "false");
       return *this;
     }
+    /// The standard repeated-timing fields: "ms" is min-of-reps (the
+    /// number benchdiff gates), mean/spread qualify the measurement.
+    Object& timing(const Timing& t) {
+      return field("ms", t.best_ms, 3)
+          .field("ms_mean", t.mean_ms, 3)
+          .field("ms_spread", t.spread, 3)
+          .field("reps", t.reps);
+    }
 
    private:
     std::ostream& sep() {
@@ -201,6 +230,7 @@ class JsonArrayWriter {
 
     std::ostream& out_;
     bool first_ = true;
+    bool active_ = true;  ///< false once moved-from: dtor writes nothing
   };
 
   explicit JsonArrayWriter(std::ostream& out) : out_(out) { out_ << "[\n"; }
@@ -219,6 +249,58 @@ class JsonArrayWriter {
  private:
   std::ostream& out_;
   bool first_ = true;
+};
+
+/// The unified bench JSON envelope (docs/OBSERVABILITY.md, "Benchmark
+/// methodology & baselines"). A BenchReport is a JsonArrayWriter whose
+/// first record is a {"section":"meta"} envelope carrying everything a
+/// baseline differ needs to refuse apples-to-oranges comparisons:
+///
+///   {"section":"meta","schema_version":1,"bench":"bench_severity_kernel",
+///    "build":"release","obs_enabled":true,"hw_threads":4,
+///    "hosts":0,"seed":7, ...bench-specific config chained by the caller}
+///
+/// Usage:
+///   BenchReport report(std::cout, "bench_severity_kernel");
+///   report.meta(cfg).field("reps", reps).field("quick", ...);
+///   report.object().field("section", "engine")...;   // as before
+///
+/// tools/benchdiff keys on schema_version (mismatch = structural error,
+/// exit 2) and on bench to reject diffing unrelated runs.
+class BenchReport : public JsonArrayWriter {
+ public:
+  /// Bump when the envelope or the shared record conventions change
+  /// incompatibly; benchdiff refuses to diff across versions.
+  static constexpr int kSchemaVersion = 1;
+
+  BenchReport(std::ostream& out, std::string bench)
+      : JsonArrayWriter(out), bench_(std::move(bench)) {}
+
+  /// Opens the meta record — call exactly once, before any other record.
+  /// Returns the still-open Object so callers chain bench-specific config
+  /// (sizes, thread sweeps, tile dims); it closes at the end of the full
+  /// expression like any other record.
+  Object meta(const BenchConfig& cfg) {
+    Object o = object();
+    o.field("section", std::string("meta"))
+        .field("schema_version", kSchemaVersion)
+        .field("bench", bench_)
+        .field("build", std::string(
+#ifdef NDEBUG
+                            "release"
+#else
+                            "debug"
+#endif
+                            ))
+        .field_bool("obs_enabled", obs::kEnabled)
+        .field("hw_threads", std::thread::hardware_concurrency())
+        .field("hosts", cfg.hosts)
+        .field("seed", cfg.seed);
+    return o;
+  }
+
+ private:
+  std::string bench_;
 };
 
 /// Embeds a registry metrics snapshot into a bench's JSON record stream:
@@ -338,6 +420,27 @@ inline double best_ms(int reps, const std::function<void()>& fn) {
   double best = 1e300;
   for (int r = 0; r < reps; ++r) best = std::min(best, time_ms(fn));
   return best;
+}
+
+/// best_ms plus dispersion: runs fn `reps` times and keeps min, mean and
+/// the (max-min)/min relative spread. The min is what the regression gate
+/// compares (least contaminated by scheduler noise); the spread is how a
+/// reader judges whether the box was quiet.
+inline Timing repeat_ms(int reps, const std::function<void()>& fn) {
+  Timing t;
+  t.reps = reps < 1 ? 1 : reps;
+  double sum = 0.0;
+  double worst = 0.0;
+  t.best_ms = 1e300;
+  for (int r = 0; r < t.reps; ++r) {
+    const double ms = time_ms(fn);
+    sum += ms;
+    t.best_ms = std::min(t.best_ms, ms);
+    worst = std::max(worst, ms);
+  }
+  t.mean_ms = sum / static_cast<double>(t.reps);
+  t.spread = t.best_ms > 0.0 ? (worst - t.best_ms) / t.best_ms : 0.0;
+  return t;
 }
 
 /// Log-spaced grid (the paper's percentage-penalty CDFs use a log x axis

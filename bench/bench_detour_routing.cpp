@@ -35,8 +35,11 @@ int main(int argc, char** argv) {
   vivaldi.run(300);
 
   const delayspace::DelayMatrixView view(space.measured);
-  std::optional<JsonArrayWriter> json;
-  if (cfg.json) json.emplace(std::cout);
+  std::optional<BenchReport> json;
+  if (cfg.json) {
+    json.emplace(std::cout, "bench_detour_routing");
+    json->meta(cfg);
+  }
 
   const auto pct_alerted = [](const core::DetourEvaluation& e) {
     return 100.0 * static_cast<double>(e.alerted_edges) /

@@ -176,7 +176,14 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   {
-    tiv::bench::JsonArrayWriter json(std::cout);
+    tiv::bench::BenchConfig bench_cfg;
+    bench_cfg.hosts = n;
+    bench_cfg.seed = seed;
+    tiv::bench::BenchReport json(std::cout, "bench_fault_recovery");
+    json.meta(bench_cfg)
+        .field("tile_dim", tile_dim)
+        .field("missing_fraction", missing, 3)
+        .field_bool("quick", quick);
 
     // --- disk rot: corrupt a fraction of tiles, recover on read ----------
     for (const double frac : rot_fractions) {

@@ -24,8 +24,11 @@ int main(int argc, char** argv) {
                                  0.4,  0.6,  0.8,  1.0,  1.5, 2.0,
                                  3.0,  5.0,  8.0,  12.0, 20.0};
 
-  std::optional<JsonArrayWriter> json;
-  if (cfg.json) json.emplace(std::cout);
+  std::optional<BenchReport> json;
+  if (cfg.json) {
+    json.emplace(std::cout, "bench_fig02_severity_cdf");
+    json->meta(cfg);
+  }
 
   std::vector<std::string> names;
   std::vector<Cdf> cdfs;

@@ -39,8 +39,11 @@ int main(int argc, char** argv) {
   const auto clustering = delayspace::cluster_delay_space(space.measured, {});
   const double rand_idx =
       delayspace::rand_index(clustering, space.host_cluster);
-  std::optional<JsonArrayWriter> json;
-  if (cfg.json) json.emplace(std::cout);
+  std::optional<BenchReport> json;
+  if (cfg.json) {
+    json.emplace(std::cout, "bench_fig03_cluster_matrix");
+    json->meta(cfg);
+  }
   if (cfg.json) {
     auto obj = json->object();
     obj.field("section", std::string("clustering"))

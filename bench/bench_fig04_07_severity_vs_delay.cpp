@@ -23,8 +23,11 @@ int main(int argc, char** argv) {
   const double bin_ms = flags.get_double("bin-ms", 10.0);
   reject_unknown_flags(flags);
 
-  std::optional<JsonArrayWriter> json;
-  if (cfg.json) json.emplace(std::cout);
+  std::optional<BenchReport> json;
+  if (cfg.json) {
+    json.emplace(std::cout, "bench_fig04_07_severity_vs_delay");
+    json->meta(cfg);
+  }
 
   struct FigureRef {
     delayspace::DatasetId id;

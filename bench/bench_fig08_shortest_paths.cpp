@@ -65,10 +65,8 @@ int main(int argc, char** argv) {
     }
   }
   if (cfg.json) {
-    JsonArrayWriter json(std::cout);
-    json.object()
-        .field("section", std::string("meta"))
-        .field("hosts", m.size())
+    BenchReport json(std::cout, "bench_fig08_shortest_paths");
+    json.meta(cfg)
         .field("clusters", clustering.num_clusters())
         .field("measured_pairs", m.measured_pair_count());
     emit_delay_bins_json(json, "within_cluster_bin", within.bins());

@@ -21,8 +21,11 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("edge-samples", 10000));
   reject_unknown_flags(flags);
 
-  std::optional<JsonArrayWriter> json;
-  if (cfg.json) json.emplace(std::cout);
+  std::optional<BenchReport> json;
+  if (cfg.json) {
+    json.emplace(std::cout, "bench_fig09_proximity");
+    json->meta(cfg);
+  }
 
   const std::vector<double> grid{0.0, 0.02, 0.05, 0.1, 0.2,
                                  0.3, 0.5,  0.75, 1.0, 1.5};

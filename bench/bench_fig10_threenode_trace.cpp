@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
   }
 
   if (cfg.json) {
-    JsonArrayWriter json(std::cout);
+    BenchReport json(std::cout, "bench_fig10_threenode_trace");
+    json.meta(cfg);
     for (std::uint32_t t = 0; t < seconds; ++t) {
       json.object()
           .field("section", std::string("trace"))

@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
   const Summary speed = movement.speed_summary();
 
   if (cfg.json) {
-    JsonArrayWriter json(std::cout);
+    BenchReport json(std::cout, "bench_fig11_oscillation");
+    json.meta(cfg);
     for (const Bin& b : series.bins()) {
       json.object()
           .field("section", std::string("bin"))

@@ -21,8 +21,11 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("sample-pairs", 60000));
   reject_unknown_flags(flags);
 
-  std::optional<JsonArrayWriter> json;
-  if (cfg.json) json.emplace(std::cout);
+  std::optional<BenchReport> json;
+  if (cfg.json) {
+    json.emplace(std::cout, "bench_fig13_misplacement");
+    json->meta(cfg);
+  }
 
   const auto space = make_space(delayspace::DatasetId::kDs2, cfg);
   for (const double beta : {0.1, 0.5, 0.9}) {

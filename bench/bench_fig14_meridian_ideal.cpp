@@ -52,7 +52,8 @@ int main(int argc, char** argv) {
   const auto r_ds2 = neighbor::run_meridian_experiment(space.measured, p);
 
   if (cfg.json) {
-    JsonArrayWriter json(std::cout);
+    BenchReport json(std::cout, "bench_fig14_meridian_ideal");
+    json.meta(cfg);
     json.object()
         .field("section", std::string("config"))
         .field("hosts", n)

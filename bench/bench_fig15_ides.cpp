@@ -55,7 +55,8 @@ int main(int argc, char** argv) {
       });
 
   if (cfg.json) {
-    JsonArrayWriter json(std::cout);
+    BenchReport json(std::cout, "bench_fig15_ides");
+    json.meta(cfg);
     json.object()
         .field("section", std::string("config"))
         .field("hosts", n)

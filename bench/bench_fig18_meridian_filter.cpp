@@ -66,7 +66,8 @@ int main(int argc, char** argv) {
   const auto occ_b = pruned.ring_occupancy();
 
   if (cfg.json) {
-    JsonArrayWriter json(std::cout);
+    BenchReport json(std::cout, "bench_fig18_meridian_filter");
+    json.meta(cfg);
     json.object()
         .field("section", std::string("config"))
         .field("hosts", n)

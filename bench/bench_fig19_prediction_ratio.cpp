@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
   }
 
   if (cfg.json) {
-    JsonArrayWriter json(std::cout);
+    BenchReport json(std::cout, "bench_fig19_prediction_ratio");
+    json.meta(cfg);
     json.object()
         .field("section", std::string("config"))
         .field("hosts", space.measured.size())

@@ -21,8 +21,11 @@ int main(int argc, char** argv) {
   const auto warmup = static_cast<std::uint32_t>(flags.get_int("warmup", 300));
   reject_unknown_flags(flags);
 
-  std::optional<JsonArrayWriter> json;
-  if (cfg.json) json.emplace(std::cout);
+  std::optional<BenchReport> json;
+  if (cfg.json) {
+    json.emplace(std::cout, "bench_fig20_21_alert_accuracy");
+    json->meta(cfg);
+  }
 
   const auto space = make_space(delayspace::DatasetId::kDs2, cfg);
   embedding::VivaldiParams vp;

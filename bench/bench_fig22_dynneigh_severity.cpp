@@ -20,8 +20,11 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(flags.get_int("period", 100));
   reject_unknown_flags(flags);
 
-  std::optional<JsonArrayWriter> json;
-  if (cfg.json) json.emplace(std::cout);
+  std::optional<BenchReport> json;
+  if (cfg.json) {
+    json.emplace(std::cout, "bench_fig22_dynneigh_severity");
+    json->meta(cfg);
+  }
 
   const auto space = make_space(delayspace::DatasetId::kDs2, cfg);
   const core::TivAnalyzer analyzer(space.measured);

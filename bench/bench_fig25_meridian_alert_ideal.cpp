@@ -23,8 +23,11 @@ int main(int argc, char** argv) {
   const auto runs = static_cast<std::uint32_t>(flags.get_int("runs", 3));
   reject_unknown_flags(flags);
 
-  std::optional<JsonArrayWriter> json;
-  if (cfg.json) json.emplace(std::cout);
+  std::optional<BenchReport> json;
+  if (cfg.json) {
+    json.emplace(std::cout, "bench_fig25_meridian_alert_ideal");
+    json->meta(cfg);
+  }
 
   const auto space = make_space(delayspace::DatasetId::kDs2, cfg);
   const auto n = space.measured.size();

@@ -18,7 +18,11 @@
 //   --threads=T    benchmark only thread count T (default: 1, 2, 4, hw)
 //   --seed=S       xor-ed into the topology generator seed
 //   --json         accepted for uniformity; output is always JSON
+//   --profile-out=PATH  run the sampling profiler (src/obs/prof.hpp) for
+//                       the whole bench and write its JSON profile to PATH
+//   --profile-hz=HZ     sampling rate when profiling (default 97)
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -26,6 +30,7 @@
 
 #include "bench_common.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "routing/graph_engine.hpp"
 #include "routing/policy_routing.hpp"
 #include "routing/shortest_path.hpp"
@@ -64,6 +69,8 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   const auto only_threads = flags.get_int("threads", 0);
   (void)flags.get_bool("json", true);  // always JSON, flag kept for symmetry
+  const std::string profile_out = flags.get_string("profile-out", "");
+  const double profile_hz = flags.get_double("profile-hz", 97.0);
   tiv::reject_unknown_flags(flags);
 
   const std::vector<std::uint32_t> sizes =
@@ -79,10 +86,19 @@ int main(int argc, char** argv) {
   }
   const int reps = quick ? 1 : 2;
 
+  tiv::obs::SpanProfiler profiler({profile_hz});
+  if (!profile_out.empty()) profiler.start();
+
   std::uint64_t parity_mismatches = 0;
   std::uint64_t warm_scratch_allocs = 0;
   {
-    tiv::bench::JsonArrayWriter json(std::cout);
+    tiv::bench::BenchConfig cfg;
+    cfg.seed = seed;
+    tiv::bench::BenchReport json(std::cout, "bench_graph_engine");
+    json.meta(cfg)
+        .field("reps", reps)
+        .field_bool("quick", quick)
+        .field("max_n", sizes.back());
     for (const std::uint32_t n : sizes) {
       tiv::topology::TopologyParams params;
       params.num_ases = n;
@@ -223,6 +239,11 @@ int main(int argc, char** argv) {
         .field("warm_scratch_allocs", warm_scratch_allocs);
   }
   tiv::set_parallel_thread_count(0);
+  if (!profile_out.empty()) {
+    profiler.stop();
+    std::ofstream pf(profile_out);
+    profiler.profile().write_json(pf);
+  }
   if (parity_mismatches != 0 || warm_scratch_allocs != 0) {
     std::cerr << "bench_graph_engine: FAILED (" << parity_mismatches
               << " parity mismatches, " << warm_scratch_allocs

@@ -29,8 +29,11 @@ int main(int argc, char** argv) {
   const BenchConfig cfg = parse_config(flags, 600);
   reject_unknown_flags(flags);
 
-  std::optional<JsonArrayWriter> json;
-  if (cfg.json) json.emplace(std::cout);
+  std::optional<BenchReport> json;
+  if (cfg.json) {
+    json.emplace(std::cout, "bench_intext_claims");
+    json->meta(cfg);
+  }
 
   const auto space = make_space(delayspace::DatasetId::kDs2, cfg);
   const auto& m = space.measured;

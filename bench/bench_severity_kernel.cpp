@@ -1,10 +1,21 @@
 // Severity-engine kernel benchmark: scalar reference vs. the blocked,
 // branch-free kernel, across matrix sizes and thread counts.
 //
-// Emits a JSON array so future PRs can track the trajectory:
-//   [{"n":1024,"threads":1,"missing_fraction":0.1,
-//     "scalar_ms":..., "blocked_ms":..., "speedup":..., "max_rel_err":...},
+// Emits a BenchReport JSON array (meta envelope first) so future PRs can
+// track the trajectory:
+//   [{"section":"meta","schema_version":1,"bench":"bench_severity_kernel",...},
+//    {"section":"kernel","n":1024,"threads":1,"missing_fraction":0.1,
+//     "scalar_ms":..., "blocked_ms":..., "speedup":..., "max_rel_err":...,
+//     "witness_ops":..., "bytes_touched":..., "gops_per_s":..., "gb_per_s":...},
 //    ...]
+//
+// The roofline fields are algorithmic, not cache-measured: the severity
+// kernel examines every witness k for every pair (i,j), so
+//   witness_ops   = C(n,2) * n        (pair-witness relaxations)
+//   bytes_touched = witness_ops * 8   (two float loads per relaxation)
+// and gb_per_s / gops_per_s divide those by the measured blocked_ms. They
+// make the ROADMAP's bandwidth-vs-compute positioning machine-checkable
+// without hardware counters.
 //
 // Flags:
 //   --quick        n in {256, 512} only, 1 repetition (CI smoke run)
@@ -38,8 +49,9 @@ using tiv::core::TivAnalyzer;
 using tiv::delayspace::DelayMatrix;
 using tiv::delayspace::HostId;
 
-using tiv::bench::best_ms;
 using tiv::bench::random_matrix;
+using tiv::bench::repeat_ms;
+using tiv::bench::Timing;
 
 double max_rel_err(const SeverityMatrix& got, const SeverityMatrix& want) {
   double worst = 0.0;
@@ -77,7 +89,13 @@ int main(int argc, char** argv) {
     if (hw > 4) thread_counts.push_back(hw);
   }
 
-  tiv::bench::JsonArrayWriter json(std::cout);
+  tiv::bench::BenchConfig cfg;
+  cfg.seed = seed;
+  tiv::bench::BenchReport json(std::cout, "bench_severity_kernel");
+  json.meta(cfg)
+      .field("missing_fraction", missing, 3)
+      .field_bool("quick", quick)
+      .field("max_n", sizes.back());
   for (const HostId n : sizes) {
     const DelayMatrix m = random_matrix(n, missing, seed);
     const TivAnalyzer analyzer(m);
@@ -87,23 +105,42 @@ int main(int argc, char** argv) {
     // per-core cost, the denominator of every speedup below.
     tiv::set_parallel_thread_count(1);
     SeverityMatrix ref;
-    const double scalar_ms =
-        best_ms(reps, [&] { ref = analyzer.all_severities_reference(); });
+    const Timing scalar =
+        repeat_ms(reps, [&] { ref = analyzer.all_severities_reference(); });
+
+    // Algorithmic roofline: every pair (i,j) relaxes through every
+    // witness k, two float loads per relaxation.
+    const double witness_ops = static_cast<double>(n) *
+                               static_cast<double>(n - 1) / 2.0 *
+                               static_cast<double>(n);
+    const double bytes_touched = witness_ops * 8.0;
 
     for (const std::size_t threads : thread_counts) {
       tiv::set_parallel_thread_count(threads);
       SeverityMatrix blocked;
-      const double blocked_ms =
-          best_ms(reps, [&] { blocked = analyzer.all_severities(); });
+      const Timing t =
+          repeat_ms(reps, [&] { blocked = analyzer.all_severities(); });
       const double err = max_rel_err(blocked, ref);
+      const double secs = t.best_ms / 1e3;
       json.object()
+          .field("section", std::string("kernel"))
           .field("n", n)
           .field("threads", threads)
           .field("missing_fraction", missing, 3)
-          .field("scalar_ms", scalar_ms, 3)
-          .field("blocked_ms", blocked_ms, 3)
-          .field("speedup", scalar_ms / blocked_ms, 3)
-          .field_sig("max_rel_err", err, 3);
+          .field("reps", reps)
+          .field("scalar_ms", scalar.best_ms, 3)
+          .field("scalar_ms_spread", scalar.spread, 3)
+          .field("blocked_ms", t.best_ms, 3)
+          .field("blocked_ms_mean", t.mean_ms, 3)
+          .field("blocked_ms_spread", t.spread, 3)
+          .field("speedup", scalar.best_ms / t.best_ms, 3)
+          .field_sig("max_rel_err", err, 3)
+          .field("witness_ops", static_cast<std::uint64_t>(witness_ops))
+          .field("bytes_touched", static_cast<std::uint64_t>(bytes_touched))
+          .field_sig("gops_per_s", secs > 0 ? witness_ops / secs / 1e9 : 0.0,
+                     4)
+          .field_sig("gb_per_s", secs > 0 ? bytes_touched / secs / 1e9 : 0.0,
+                     4);
     }
   }
   tiv::set_parallel_thread_count(0);

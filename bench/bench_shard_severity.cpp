@@ -97,7 +97,8 @@ bool run_phase(tiv::bench::JsonArrayWriter& json, const PhaseParams& phase,
   bool ok = stats.peak_bytes <= budget_bytes;
 
   auto record = json.object();
-  record.field("phase", phase.name)
+  record.field("section", std::string("shard"))
+      .field("phase", phase.name)
       .field("n", phase.n)
       .field("tile_dim", tile_dim)
       .field("budget_bytes", budget_bytes)
@@ -168,7 +169,16 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   {
-    tiv::bench::JsonArrayWriter json(std::cout);
+    tiv::bench::BenchConfig bench_cfg;
+    bench_cfg.hosts = n_big;
+    bench_cfg.seed = seed;
+    bench_cfg.json = true;
+    tiv::bench::BenchReport json(std::cout, "bench_shard_severity");
+    json.meta(bench_cfg)
+        .field("tile_dim", tile_dim)
+        .field("budget_bytes", budget_bytes)
+        .field("missing_fraction", missing)
+        .field("quick", quick);
     ok &= run_phase(json, {"equivalence", n_eq, true}, tile_dim,
                     budget_bytes, missing, seed);
     ok &= run_phase(json, {"out_of_core", n_big, false}, tile_dim,

@@ -33,6 +33,10 @@
 //   --dir=PATH             scratch directory for the tile-store files
 //                          (default: system temp dir); files are removed
 //   --seed=S               RNG seed
+//   --profile-out=PATH     run the span-attributed sampling profiler
+//                          (src/obs/prof.hpp) for the whole bench and
+//                          write its JSON profile to PATH
+//   --profile-hz=HZ        sampling rate when profiling (default 97)
 #include <sys/types.h>
 #include <unistd.h>
 
@@ -40,6 +44,7 @@
 #include <bit>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -49,6 +54,7 @@
 #include "core/severity.hpp"
 #include "core/shard_severity.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 #include "shard/tile_cache.hpp"
 #include "shard/tile_store.hpp"
@@ -134,6 +140,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("input-budget-kb", 512)) * 1024;
   const std::size_t output_budget_flag =
       static_cast<std::size_t>(flags.get_int("output-budget-kb", 256)) * 1024;
+  const std::string profile_out = flags.get_string("profile-out", "");
+  const double profile_hz = flags.get_double("profile-hz", 97.0);
   tiv::reject_unknown_flags(flags);
 
   // Floor the budgets at the pinned working sets so a many-core pool
@@ -162,9 +170,23 @@ int main(int argc, char** argv) {
   tiv::obs::SpanTracer tracer(1 << 14);
   tiv::obs::SpanTracer::attach(&tracer);
 
+  tiv::obs::SpanProfiler profiler({profile_hz});
+  if (!profile_out.empty()) profiler.start();
+
   bool ok = true;
   {
-    tiv::bench::JsonArrayWriter json(std::cout);
+    tiv::bench::BenchConfig bench_cfg;
+    bench_cfg.hosts = n;
+    bench_cfg.seed = seed;
+    tiv::bench::BenchReport json(std::cout, "bench_shard_stream");
+    json.meta(bench_cfg)
+        .field("tile_dim", tile_dim)
+        .field("epochs", epochs)
+        .field("missing_fraction", missing, 3)
+        .field("input_budget_bytes", input_budget)
+        .field("output_budget_bytes", output_budget)
+        .field_bool("quick", quick)
+        .field_bool("profiled", !profile_out.empty());
     for (const double frac : dirty_fractions) {
       DelayStream stream(random_matrix(n, missing, seed));
       Rng rng(seed ^ 0x0c1ull);
@@ -271,6 +293,11 @@ int main(int argc, char** argv) {
     tiv::bench::emit_metrics_json(json,
                                   tiv::obs::MetricsRegistry::instance()
                                       .snapshot());
+  }
+  if (!profile_out.empty()) {
+    profiler.stop();
+    std::ofstream pf(profile_out);
+    profiler.profile().write_json(pf);
   }
   tiv::obs::SpanTracer::attach(nullptr);
   return ok ? 0 : 1;

@@ -111,7 +111,16 @@ int main(int argc, char** argv) {
   EstimatorParams est;
   est.policy = parse_policy(policy_name);
 
-  tiv::bench::JsonArrayWriter json(std::cout);
+  tiv::bench::BenchConfig bench_cfg;
+  bench_cfg.hosts = n;
+  bench_cfg.seed = seed;
+  bench_cfg.json = true;
+  tiv::bench::BenchReport json(std::cout, "bench_stream_engine");
+  json.meta(bench_cfg)
+      .field("epochs", epochs)
+      .field("missing_fraction", missing)
+      .field("policy", policy_name)
+      .field("quick", quick);
 
   // --- Churn sweep -------------------------------------------------------
   const std::vector<double> dirty_fractions{0.004, 0.01, 0.05, 0.2};

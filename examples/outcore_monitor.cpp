@@ -28,9 +28,16 @@
 // (deltas since the previous line) per round; --trace-out=FILE dumps the
 // whole run as Chrome trace_event JSON loadable in about://tracing.
 //
+// Profiling (docs/OBSERVABILITY.md): --profile-out=FILE runs the
+// span-attributed sampling profiler for the whole run and writes its JSON
+// profile; --profile-collapsed=FILE writes the collapsed-stack form for
+// flamegraph tooling; --profile-hz=HZ picks the sampling rate (default 97).
+//
 //   ./outcore_monitor [--hosts=200] [--rounds=6] [--seed=1]
 //                     [--inject-bitflips=K]
 //                     [--metrics-out=FILE] [--trace-out=FILE]
+//                     [--profile-out=FILE] [--profile-collapsed=FILE]
+//                     [--profile-hz=HZ]
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
@@ -40,6 +47,7 @@
 
 #include "delayspace/datasets.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "shard/fault_injector.hpp"
@@ -91,12 +99,18 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(flags.get_int("inject-bitflips", 0));
   const std::string metrics_path = flags.get_string("metrics-out", "");
   const std::string trace_path = flags.get_string("trace-out", "");
+  const std::string profile_path = flags.get_string("profile-out", "");
+  const std::string collapsed_path = flags.get_string("profile-collapsed", "");
+  const double profile_hz = flags.get_double("profile-hz", 97.0);
   reject_unknown_flags(flags);
 
   // The tracer powers both the per-round digest and --trace-out, so it is
   // always attached; 2^16 slots hold every span of a typical run.
   obs::SpanTracer tracer(1 << 16);
   obs::SpanTracer::attach(&tracer);
+
+  obs::SpanProfiler profiler({profile_hz});
+  if (!profile_path.empty() || !collapsed_path.empty()) profiler.start();
 
   std::ofstream metrics_file;
   std::optional<obs::SnapshotReporter> reporter;
@@ -304,6 +318,33 @@ int main(int argc, char** argv) {
             << "(spill files are removed when the engine is destroyed)\n";
 
   obs::SpanTracer::attach(nullptr);
+  if (profiler.running()) {
+    profiler.stop();
+    const obs::Profile prof = profiler.profile();
+    if (!profile_path.empty()) {
+      std::ofstream pf(profile_path);
+      if (!pf) {
+        std::cerr << "cannot open --profile-out file: " << profile_path
+                  << "\n";
+        return 1;
+      }
+      prof.write_json(pf);
+      std::cout << "profile: " << prof.samples << " sample(s) over "
+                << prof.ticks << " tick(s) written to " << profile_path
+                << "\n";
+    }
+    if (!collapsed_path.empty()) {
+      std::ofstream cf(collapsed_path);
+      if (!cf) {
+        std::cerr << "cannot open --profile-collapsed file: "
+                  << collapsed_path << "\n";
+        return 1;
+      }
+      prof.write_collapsed(cf);
+      std::cout << "collapsed profile written to " << collapsed_path
+                << " (feed to flamegraph.pl / speedscope)\n";
+    }
+  }
   if (!trace_path.empty()) {
     std::ofstream trace_file(trace_path);
     if (!trace_file) {

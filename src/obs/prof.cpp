@@ -1,0 +1,188 @@
+#include "obs/prof.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace tiv::obs {
+namespace {
+
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') out << '\\';
+    out << ch;
+  }
+  out << '"';
+}
+
+/// Hierarchical rollup node, built from the flat path map.
+struct TreeNode {
+  std::uint64_t self = 0;
+  std::uint64_t total = 0;
+  std::map<std::string, TreeNode> children;
+};
+
+void write_tree(std::ostream& out, const std::string& name,
+                const TreeNode& node) {
+  out << "{\"name\":";
+  write_json_string(out, name);
+  out << ",\"self\":" << node.self << ",\"total\":" << node.total;
+  if (!node.children.empty()) {
+    out << ",\"children\":[";
+    bool first = true;
+    for (const auto& [child_name, child] : node.children) {
+      if (!first) out << ",";
+      first = false;
+      write_tree(out, child_name, child);
+    }
+    out << "]";
+  }
+  out << "}";
+}
+
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> frames;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t sep = path.find(';', start);
+    if (sep == std::string::npos) {
+      frames.push_back(path.substr(start));
+      return frames;
+    }
+    frames.push_back(path.substr(start, sep - start));
+    start = sep + 1;
+  }
+}
+
+}  // namespace
+
+std::map<std::string, Profile::PathStat> Profile::path_stats() const {
+  std::map<std::string, PathStat> stats;
+  for (const auto& [path, count] : by_path) {
+    stats[path].self += count;
+    // Every prefix (split at frame boundaries) absorbs the sample into
+    // its total — "epoch;tile-repack" counts toward "epoch" too.
+    for (std::size_t sep = path.find(';'); sep != std::string::npos;
+         sep = path.find(';', sep + 1)) {
+      stats[path.substr(0, sep)].total += count;
+    }
+    stats[path].total += count;
+  }
+  return stats;
+}
+
+void Profile::write_collapsed(std::ostream& out) const {
+  for (const auto& [path, count] : by_path) {
+    out << path << " " << count << "\n";
+  }
+}
+
+void Profile::write_json(std::ostream& out) const {
+  char hz_buf[32];
+  std::snprintf(hz_buf, sizeof(hz_buf), "%.3f", hz);
+  out << "{\"hz\":" << hz_buf << ",\"ticks\":" << ticks
+      << ",\"samples\":" << samples << ",\"idle_ticks\":" << idle_ticks
+      << ",\"threads_seen\":" << threads_seen << ",\"paths\":[";
+  const auto stats = path_stats();
+  bool first = true;
+  for (const auto& [path, stat] : stats) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"path\":";
+    write_json_string(out, path);
+    out << ",\"self\":" << stat.self << ",\"total\":" << stat.total << "}";
+  }
+  out << "],\"tree\":";
+  TreeNode root;
+  root.total = samples;
+  for (const auto& [path, count] : by_path) {
+    TreeNode* node = &root;
+    for (const std::string& frame : split_path(path)) {
+      node = &node->children[frame];
+      node->total += count;
+    }
+    node->self += count;
+  }
+  write_tree(out, "<root>", root);
+  out << "}\n";
+}
+
+SpanProfiler::SpanProfiler(Options opts) : opts_(opts) {
+  opts_.hz = std::clamp(opts_.hz, 1.0, 10000.0);
+}
+
+SpanProfiler::~SpanProfiler() { stop(); }
+
+bool SpanProfiler::running() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return sampler_.joinable();
+}
+
+void SpanProfiler::start() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (sampler_.joinable()) return;  // idempotent
+  stopping_ = false;
+  prof_.hz = opts_.hz;
+  SpanStack::set_publishing(true);
+  sampler_ = std::thread([this] { run(); });
+}
+
+void SpanProfiler::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (!sampler_.joinable()) return;  // idempotent
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  sampler_.join();  // joinable() is false from here — running() reads that
+  SpanStack::set_publishing(false);
+}
+
+Profile SpanProfiler::profile() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return prof_;
+}
+
+void SpanProfiler::run() {
+  using clock = std::chrono::steady_clock;
+  const auto period = std::chrono::duration_cast<clock::duration>(
+      std::chrono::duration<double>(1.0 / opts_.hz));
+  std::array<const char*, SpanStack::kMaxDepth> frames{};
+  std::string path;
+  auto next = clock::now() + period;
+  std::unique_lock<std::mutex> lk(mutex_);
+  for (;;) {
+    if (stop_cv_.wait_until(lk, next, [this] { return stopping_; })) return;
+    // Catch up rather than burst if a tick overran its slot (the wall
+    // clock, not the tick count, carries the rate).
+    const auto now = clock::now();
+    next = now < next + period ? next + period : now + period;
+
+    ++prof_.ticks;
+    const std::size_t used = SpanStack::slots_in_use();
+    prof_.threads_seen = std::max(prof_.threads_seen, used);
+    bool any_active = false;
+    for (std::size_t t = 0; t < used; ++t) {
+      const std::uint32_t depth = SpanStack::read(SpanStack::slot_at(t),
+                                                  frames);
+      if (depth == 0) continue;
+      any_active = true;
+      path.clear();
+      for (std::uint32_t i = 0; i < depth; ++i) {
+        if (i != 0) path += ';';
+        path += frames[i];
+      }
+      ++prof_.by_path[path];
+      ++prof_.samples;
+    }
+    if (!any_active) ++prof_.idle_ticks;
+  }
+}
+
+}  // namespace tiv::obs

@@ -1,0 +1,102 @@
+// Span-attributed sampling self-profiler (docs/OBSERVABILITY.md).
+//
+// A SpanProfiler owns one timer-driven sampler thread. Every tick
+// (default 97 Hz — a prime, so the sampler cannot phase-lock with
+// periodic pipeline work) it walks the SpanStack per-thread current-span
+// registry and, for each thread with an active span, accumulates the
+// span *path* ("epoch;band-pair-stream") into a sample map. The result
+// is the same attribution a stack profiler gives, but over the pipeline's
+// instrumented phases instead of machine frames — and because the read
+// side is two ordered atomic loads per thread, the cost to the profiled
+// threads is two relaxed stores per Span, nothing per sample.
+//
+// The accumulated Profile exports as:
+//   write_collapsed   collapsed-stack text ("epoch;sink-commit 42" per
+//                     line) — feed to flamegraph.pl / speedscope / inferno
+//   write_json        one JSON object with the run's sampling stats, a
+//                     flat per-path table carrying {self, total} sample
+//                     counts, and the hierarchical tree
+//
+// Overhead, measured end-to-end on bench_shard_stream at 97 Hz, is below
+// 1% (numbers in docs/OBSERVABILITY.md): the sampler thread does O(active
+// threads) loads and one hash-map bump per tick, and the hot path's extra
+// work is the SpanStack push/pop.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace tiv::obs {
+
+/// Accumulated sampling profile. Plain data: copyable, mergeable by the
+/// caller, serializable.
+struct Profile {
+  double hz = 0.0;               ///< configured sampling rate
+  std::uint64_t ticks = 0;       ///< sampler wakeups
+  std::uint64_t samples = 0;     ///< (tick, thread) observations with an active span
+  std::uint64_t idle_ticks = 0;  ///< wakeups where no thread had an active span
+  std::size_t threads_seen = 0;  ///< high-water mark of span-stack slots in use
+
+  /// Sample counts keyed by semicolon-joined span path, outermost frame
+  /// first ("epoch;tile-repack").
+  std::map<std::string, std::uint64_t> by_path;
+
+  struct PathStat {
+    std::uint64_t self = 0;   ///< samples exactly at this path
+    std::uint64_t total = 0;  ///< samples at this path or any descendant
+  };
+  /// Per-path self/total rollup. Ancestor paths that never took a direct
+  /// sample appear with self = 0, so the hierarchy is complete.
+  std::map<std::string, PathStat> path_stats() const;
+
+  /// Collapsed-stack text: one "path count" line per sampled path.
+  void write_collapsed(std::ostream& out) const;
+  /// {"hz":...,"ticks":...,"samples":...,"idle_ticks":...,
+  ///  "threads_seen":...,"paths":[{"path":...,"self":...,"total":...}],
+  ///  "tree":{"name":"<root>","self":0,"total":N,"children":[...]}}
+  void write_json(std::ostream& out) const;
+};
+
+/// The sampler. start() enables SpanStack publishing and spawns the
+/// sampler thread; stop() (idempotent, implied by destruction) joins it
+/// and disables publishing. One profiler at a time — publishing is a
+/// process-global switch.
+class SpanProfiler {
+ public:
+  struct Options {
+    double hz = 97.0;  ///< sampling rate; clamped to [1, 10000]
+  };
+
+  SpanProfiler() : SpanProfiler(Options()) {}
+  explicit SpanProfiler(Options opts);
+  ~SpanProfiler();
+
+  SpanProfiler(const SpanProfiler&) = delete;
+  SpanProfiler& operator=(const SpanProfiler&) = delete;
+
+  void start();
+  void stop();
+  bool running() const;
+
+  /// Snapshot of the accumulated profile (thread-safe; callable while
+  /// running — the sampler yields the lock between ticks).
+  Profile profile() const;
+
+ private:
+  void run();
+
+  Options opts_;
+  mutable std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  Profile prof_;
+  std::thread sampler_;
+  bool stopping_ = false;
+};
+
+}  // namespace tiv::obs

@@ -10,6 +10,11 @@
 // Options::cumulative for running totals) and gauges are current levels.
 // Lines come from report_now() (the monitor calls it per round) or from an
 // optional background thread ticking every Options::interval.
+//
+// The reporter also renders the registry in Prometheus text exposition
+// format (write_prometheus) — cumulative totals, `tiv_`-prefixed
+// underscore-sanitized names, log2 histogram buckets as the standard
+// cumulative `_bucket{le="..."}` series.
 #pragma once
 
 #include <chrono>
@@ -25,11 +30,22 @@
 
 namespace tiv::obs {
 
+namespace prom {
+/// Prometheus metric-name sanitization: every character outside
+/// [a-zA-Z0-9_:] (the registry uses dots) becomes '_', and the result
+/// gains a "tiv_" prefix ("pool.chunks_claimed" -> "tiv_pool_chunks_claimed").
+std::string metric_name(std::string_view name);
+/// HELP-line escaping: backslash and newline per the exposition format.
+std::string escape_help(std::string_view s);
+}  // namespace prom
+
 class SnapshotReporter {
  public:
   struct Options {
     std::chrono::milliseconds interval{1000};  ///< background tick period
     bool cumulative = false;  ///< running totals instead of per-line deltas
+    bool dense_histograms = false;  ///< fixed 65-entry bucket arrays instead
+                                    ///< of the sparse occupied-bucket object
   };
 
   /// Emits to `out`, which must outlive the reporter. Callers that want a
@@ -50,6 +66,13 @@ class SnapshotReporter {
   /// (callers wanting a closing line call report_now first).
   void start();
   void stop();
+
+  /// Renders a fresh registry snapshot to `out` in Prometheus text
+  /// exposition format (always cumulative — scrapers do their own rate()).
+  /// Independent of the JSONL stream and its delta baseline.
+  static void write_prometheus(std::ostream& out);
+  /// Renders an existing snapshot (for tests and delta views).
+  static void write_prometheus(std::ostream& out, const MetricsSnapshot& snap);
 
  private:
   void emit_locked(std::string_view label);

@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cstring>
@@ -8,6 +9,42 @@
 namespace tiv::obs {
 
 std::atomic<SpanTracer*> SpanTracer::current_{nullptr};
+std::atomic<bool> SpanStack::publishing_{false};
+
+namespace {
+
+/// Process-global slot table. Leaked-static storage (like the metrics
+/// registry) so a slot pointer cached by a thread_local stays valid
+/// through static destruction.
+struct SlotTable {
+  std::array<SpanStack::Slot, SpanStack::kMaxThreads> slots;
+  std::atomic<std::size_t> next{0};
+};
+
+SlotTable& slot_table() {
+  static SlotTable* table = new SlotTable();
+  return *table;
+}
+
+}  // namespace
+
+SpanStack::Slot* SpanStack::slot() {
+  thread_local Slot* const slot = []() -> Slot* {
+    SlotTable& t = slot_table();
+    const std::size_t i = t.next.fetch_add(1, std::memory_order_relaxed);
+    return i < kMaxThreads ? &t.slots[i] : nullptr;
+  }();
+  return slot;
+}
+
+std::size_t SpanStack::slots_in_use() {
+  return std::min(slot_table().next.load(std::memory_order_acquire),
+                  kMaxThreads);
+}
+
+const SpanStack::Slot& SpanStack::slot_at(std::size_t i) {
+  return slot_table().slots[i];
+}
 
 std::uint64_t SpanTracer::now_ns() {
   using clock = std::chrono::steady_clock;

@@ -1,0 +1,254 @@
+// benchdiff core (tools/benchdiff): metric-spec grammar, threshold math
+// for all three operators (including the base == 0 edge cases), record
+// matching and the structural-error contract (missing metric/record,
+// schema-version and bench-name mismatch), envelope validation, the
+// injected-regression self-test, and the JSON reader it all sits on.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "benchdiff.hpp"
+#include "json_mini.hpp"
+
+namespace tiv::benchdiff {
+namespace {
+
+json::Value parse_or_die(const std::string& text) {
+  std::string error;
+  auto v = json::parse(text, &error);
+  EXPECT_TRUE(v.has_value()) << error << "\n" << text;
+  return v.has_value() ? *v : json::Value{};
+}
+
+std::string meta_record(const std::string& bench, int schema = 1) {
+  return R"({"section":"meta","schema_version":)" + std::to_string(schema) +
+         R"(,"bench":")" + bench + R"("})";
+}
+
+// Two-record fixture: one meta, one kernel row with a timing and two
+// deterministic counters.
+json::Value fixture(double ms, double checksum, double mismatches = 0.0) {
+  std::ostringstream doc;
+  doc << "[" << meta_record("bench_fix") << ","
+      << R"({"section":"kernel","n":256,"ms":)" << ms
+      << R"(,"checksum":)" << checksum << R"(,"mismatches":)" << mismatches
+      << "}]";
+  return parse_or_die(doc.str());
+}
+
+DiffOptions specs(const std::string& a, const std::string& b = "",
+                  const std::string& c = "") {
+  DiffOptions opts;
+  for (const std::string& s : {a, b, c}) {
+    if (s.empty()) continue;
+    auto spec = parse_metric_spec(s);
+    EXPECT_TRUE(spec.has_value()) << s;
+    if (spec.has_value()) opts.specs.push_back(*spec);
+  }
+  return opts;
+}
+
+// --- Spec grammar -----------------------------------------------------------
+
+TEST(BenchdiffSpec, ParsesAllThreeOperators) {
+  auto lt = parse_metric_spec("ms<1.8");
+  ASSERT_TRUE(lt.has_value());
+  EXPECT_EQ(lt->name, "ms");
+  EXPECT_EQ(lt->op, '<');
+  EXPECT_DOUBLE_EQ(lt->limit, 1.8);
+
+  auto gt = parse_metric_spec("speedup>0.5");
+  ASSERT_TRUE(gt.has_value());
+  EXPECT_EQ(gt->op, '>');
+
+  auto eq = parse_metric_spec("hits=0.001");
+  ASSERT_TRUE(eq.has_value());
+  EXPECT_EQ(eq->op, '=');
+  EXPECT_DOUBLE_EQ(eq->limit, 0.001);
+}
+
+TEST(BenchdiffSpec, RejectsMalformedSpecs) {
+  EXPECT_FALSE(parse_metric_spec("ms").has_value());         // no operator
+  EXPECT_FALSE(parse_metric_spec("<1.8").has_value());       // no name
+  EXPECT_FALSE(parse_metric_spec("ms<").has_value());        // no limit
+  EXPECT_FALSE(parse_metric_spec("ms<abc").has_value());     // bad number
+  EXPECT_FALSE(parse_metric_spec("ms<-2").has_value());      // negative
+  EXPECT_FALSE(parse_metric_spec("ms<1.8x").has_value());    // trailing junk
+}
+
+// --- Threshold math ---------------------------------------------------------
+
+TEST(BenchdiffDiff, RatioLimitGatesLowerIsBetter) {
+  const auto base = fixture(10.0, 42.0);
+  // 1.5x slower passes a <1.8 gate...
+  auto r = diff(base, fixture(15.0, 42.0), specs("ms<1.8"));
+  EXPECT_EQ(r.exit_code, 0) << r.errors.empty();
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_TRUE(r.rows[0].pass);
+  EXPECT_DOUBLE_EQ(r.rows[0].ratio, 1.5);
+  // ...2x slower fails it.
+  r = diff(base, fixture(20.0, 42.0), specs("ms<1.8"));
+  EXPECT_EQ(r.exit_code, 1);
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_FALSE(r.rows[0].pass);
+  // Getting faster always passes.
+  r = diff(base, fixture(3.0, 42.0), specs("ms<1.8"));
+  EXPECT_EQ(r.exit_code, 0);
+}
+
+TEST(BenchdiffDiff, RatioFloorGatesHigherIsBetter) {
+  const auto base = fixture(10.0, 8.0);
+  auto r = diff(base, fixture(10.0, 6.0), specs("checksum>0.5"));
+  EXPECT_EQ(r.exit_code, 0);  // 0.75x of baseline, above the 0.5 floor
+  r = diff(base, fixture(10.0, 3.0), specs("checksum>0.5"));
+  EXPECT_EQ(r.exit_code, 1);  // 0.375x: below the floor
+}
+
+TEST(BenchdiffDiff, ToleranceGatesDeterministicCounters) {
+  const auto base = fixture(10.0, 1000.0);
+  auto r = diff(base, fixture(99.0, 1000.0), specs("checksum=0.001"));
+  EXPECT_EQ(r.exit_code, 0);  // exact match; timing not gated
+  r = diff(base, fixture(10.0, 1000.5), specs("checksum=0.001"));
+  EXPECT_EQ(r.exit_code, 0);  // within 0.1% relative tolerance
+  r = diff(base, fixture(10.0, 1002.0), specs("checksum=0.001"));
+  EXPECT_EQ(r.exit_code, 1);  // 0.2% off: outside
+}
+
+TEST(BenchdiffDiff, ZeroBaselineIsAbsoluteForEqualsAndSkippedForRatios) {
+  const auto base = fixture(10.0, 42.0, 0.0);
+  // '=' with base 0: |cur| <= tol, absolute.
+  auto r = diff(base, fixture(10.0, 42.0, 0.0), specs("mismatches=0.5"));
+  EXPECT_EQ(r.exit_code, 0);
+  r = diff(base, fixture(10.0, 42.0, 3.0), specs("mismatches=0.5"));
+  EXPECT_EQ(r.exit_code, 1);
+  // '<' with base 0: a ratio is meaningless — pass with a note rather
+  // than dividing by zero or failing a brand-new metric.
+  r = diff(base, fixture(10.0, 42.0, 3.0), specs("mismatches<2"));
+  EXPECT_EQ(r.exit_code, 0);
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_FALSE(r.rows[0].note.empty());
+}
+
+// --- Structural contract ----------------------------------------------------
+
+TEST(BenchdiffDiff, MissingMetricIsStructural) {
+  const auto base = fixture(10.0, 42.0);
+  const auto cur = parse_or_die(
+      "[" + meta_record("bench_fix") + R"(,{"section":"kernel","n":256}])");
+  const auto r = diff(base, cur, specs("ms<1.8"));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_FALSE(r.errors.empty());
+}
+
+TEST(BenchdiffDiff, MissingRecordIsStructural) {
+  const auto base = fixture(10.0, 42.0);
+  const auto cur = parse_or_die("[" + meta_record("bench_fix") + "]");
+  const auto r = diff(base, cur, specs("ms<1.8"));
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(BenchdiffDiff, ExtraCurrentRecordOnlyWarns) {
+  const auto base = fixture(10.0, 42.0);
+  const auto cur = parse_or_die(
+      "[" + meta_record("bench_fix") +
+      R"(,{"section":"kernel","n":256,"ms":10,"checksum":42,"mismatches":0})" +
+      R"(,{"section":"kernel","n":512,"ms":80,"checksum":7,"mismatches":0}])");
+  const auto r = diff(base, cur, specs("ms<1.8"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_FALSE(r.warnings.empty());
+}
+
+TEST(BenchdiffDiff, SchemaVersionMismatchIsRejected) {
+  const auto base = fixture(10.0, 42.0);
+  const auto cur = parse_or_die(
+      "[" + meta_record("bench_fix", 999) +
+      R"(,{"section":"kernel","n":256,"ms":10,"checksum":42,"mismatches":0}])");
+  EXPECT_EQ(diff(base, cur, specs("ms<1.8")).exit_code, 2);
+}
+
+TEST(BenchdiffDiff, BenchNameMismatchIsRejected) {
+  const auto base = fixture(10.0, 42.0);
+  const auto cur = parse_or_die(
+      "[" + meta_record("bench_other") +
+      R"(,{"section":"kernel","n":256,"ms":10,"checksum":42,"mismatches":0}])");
+  EXPECT_EQ(diff(base, cur, specs("ms<1.8")).exit_code, 2);
+}
+
+// --- Envelope validation ----------------------------------------------------
+
+TEST(BenchdiffValidate, AcceptsWellFormedEnvelope) {
+  EXPECT_TRUE(validate(fixture(10.0, 42.0)).empty());
+}
+
+TEST(BenchdiffValidate, RejectsEnvelopeViolations) {
+  EXPECT_FALSE(validate(parse_or_die("{}")).empty());   // not an array
+  EXPECT_FALSE(validate(parse_or_die("[]")).empty());   // empty
+  // First record must be the meta envelope.
+  EXPECT_FALSE(
+      validate(parse_or_die(R"([{"section":"kernel","ms":1}])")).empty());
+  // Unsupported schema version.
+  EXPECT_FALSE(
+      validate(parse_or_die("[" + meta_record("b", 2) + "]")).empty());
+  // Every record needs a string section.
+  EXPECT_FALSE(validate(parse_or_die("[" + meta_record("b") + R"(,{"ms":1}])"))
+                   .empty());
+}
+
+// --- Self-test --------------------------------------------------------------
+
+TEST(BenchdiffSelfTest, StrictGateCatchesInjectedRegression) {
+  std::ostringstream out;
+  EXPECT_TRUE(self_test(fixture(10.0, 42.0),
+                        specs("ms<1.5", "checksum=0.001"), out));
+}
+
+TEST(BenchdiffSelfTest, LooseGateFlunksTheCanary) {
+  // A <3.0 gate cannot catch the synthetic 2x injection — self_test must
+  // report the gate as toothless.
+  std::ostringstream out;
+  EXPECT_FALSE(self_test(fixture(10.0, 42.0), specs("ms<3.0"), out));
+}
+
+// --- write_table smoke ------------------------------------------------------
+
+TEST(BenchdiffTable, RendersRowsAndSummary) {
+  const auto r =
+      diff(fixture(10.0, 42.0), fixture(20.0, 42.0), specs("ms<1.8"));
+  std::ostringstream out;
+  write_table(out, r);
+  EXPECT_NE(out.str().find("ms"), std::string::npos);
+  EXPECT_NE(out.str().find("REGRESSED"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("1 regression(s)"), std::string::npos);
+}
+
+// --- JSON reader ------------------------------------------------------------
+
+TEST(BenchdiffJson, ParsesScalarsStringsAndNesting) {
+  const auto v = parse_or_die(
+      R"({"a":[1,2.5,-3e2],"b":"x\ny","c":true,"d":null,"e":{"f":"é"}})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_NE(v.find("a"), nullptr);
+  ASSERT_EQ(v.find("a")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.find("a")->array[2].number, -300.0);
+  EXPECT_EQ(v.find("b")->string, "x\ny");
+  EXPECT_TRUE(v.find("c")->boolean);
+  EXPECT_TRUE(v.find("d")->is_null());
+  EXPECT_EQ(v.find("e")->find("f")->string, "\xc3\xa9");
+}
+
+TEST(BenchdiffJson, ReportsErrorsWithByteOffsets) {
+  std::string error;
+  EXPECT_FALSE(json::parse("[1,2", &error).has_value());
+  EXPECT_NE(error.find("byte"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_FALSE(json::parse("[1] trailing", &error).has_value());
+  EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+
+  EXPECT_FALSE(json::parse(R"({"a")", &error).has_value());
+  EXPECT_FALSE(json::parse(R"("\q")", &error).has_value());
+}
+
+}  // namespace
+}  // namespace tiv::benchdiff

@@ -4,6 +4,7 @@
 // wraparound, and the pipeline contract — a ShardStreamEngine epoch
 // records an "epoch" span that nests its tile-repack / band-pair-stream /
 // sink-commit child phases with non-zero durations.
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <numeric>
@@ -17,6 +18,7 @@
 
 #include "matrix_test_utils.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "stream/delay_stream.hpp"
 #include "stream/shard_stream.hpp"
@@ -372,6 +374,90 @@ TEST(ObsPipeline, EngineEpochSpanNestsItsPhases) {
     EXPECT_GT(e.dur_ns, 0u) << name;
   }
   set_parallel_thread_count(0);
+}
+
+// --- Histogram JSON bucket encodings ----------------------------------------
+
+TEST(ObsSnapshot, SparseBucketsSkipEmptyAndKeyByLowerBound) {
+  MetricsSnapshot s;
+  auto& h = s.histograms["h"];
+  h.count = 3;
+  h.sum = 18;
+  h.buckets[0] = 1;  // value 0
+  h.buckets[4] = 2;  // values in [8, 16)
+  std::ostringstream out;
+  s.write_json(out);
+  // Only the two occupied buckets appear, keyed by inclusive lower bound.
+  EXPECT_NE(out.str().find("\"buckets\":{\"0\":1,\"8\":2}"),
+            std::string::npos)
+      << out.str();
+}
+
+TEST(ObsSnapshot, DenseBucketsEmitTheFullArray) {
+  MetricsSnapshot s;
+  s.histograms["h"].buckets[4] = 2;
+  std::ostringstream out;
+  s.write_json(out, MetricsJsonOptions{.dense_histograms = true});
+  const std::string j = out.str();
+  const std::size_t open = j.find("\"buckets\":[");
+  ASSERT_NE(open, std::string::npos) << j;
+  // 65 fixed entries -> 64 commas between them.
+  const std::size_t close = j.find(']', open);
+  ASSERT_NE(close, std::string::npos);
+  EXPECT_EQ(std::count(j.begin() + static_cast<std::ptrdiff_t>(open),
+                       j.begin() + static_cast<std::ptrdiff_t>(close), ','),
+            64);
+}
+
+// --- Prometheus exposition --------------------------------------------------
+
+TEST(ObsPrometheus, MetricNameSanitization) {
+  EXPECT_EQ(prom::metric_name("pool.chunks_claimed"),
+            "tiv_pool_chunks_claimed");
+  EXPECT_EQ(prom::metric_name("a-b c.d"), "tiv_a_b_c_d");
+  EXPECT_EQ(prom::metric_name("ns:sub"), "tiv_ns:sub");  // colons are legal
+}
+
+TEST(ObsPrometheus, HelpEscaping) {
+  EXPECT_EQ(prom::escape_help("plain"), "plain");
+  EXPECT_EQ(prom::escape_help("a\\b\nc"), "a\\\\b\\nc");
+}
+
+TEST(ObsPrometheus, BucketsAreCumulativeAndInfClosesTheSeries) {
+  MetricsSnapshot s;
+  s.counters["engine.epochs"] = 7;
+  s.gauges["cache.bytes"] = -5;
+  auto& h = s.histograms["epoch.ns"];
+  h.count = 5;
+  h.sum = 30;
+  h.buckets[2] = 3;  // values in [2, 4), le = 3
+  h.buckets[4] = 2;  // values in [8, 16), le = 15
+  std::ostringstream out;
+  SnapshotReporter::write_prometheus(out, s);
+  const std::string text = out.str();
+
+  EXPECT_NE(text.find("# TYPE tiv_engine_epochs counter\n"
+                      "tiv_engine_epochs 7\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE tiv_cache_bytes gauge\ntiv_cache_bytes -5\n"),
+            std::string::npos);
+  // Cumulative counts: 3 at le=3, then 3+2=5 at le=15; empty buckets are
+  // skipped and +Inf carries the total.
+  EXPECT_NE(text.find("tiv_epoch_ns_bucket{le=\"3\"} 3\n"
+                      "tiv_epoch_ns_bucket{le=\"15\"} 5\n"
+                      "tiv_epoch_ns_bucket{le=\"+Inf\"} 5\n"
+                      "tiv_epoch_ns_sum 30\n"
+                      "tiv_epoch_ns_count 5\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ObsPrometheus, LiveRegistrySnapshotRenders) {
+  MetricsRegistry::instance().counter("test.prom.live").add(2);
+  std::ostringstream out;
+  SnapshotReporter::write_prometheus(out);
+  EXPECT_NE(out.str().find("tiv_test_prom_live"), std::string::npos);
 }
 
 }  // namespace

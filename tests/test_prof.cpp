@@ -1,0 +1,247 @@
+// Sampling profiler (src/obs/prof.*): span-stack registry push/pop and
+// clamping, sampler-vs-worker concurrency (the reads TSan must bless),
+// self/total path rollup math, collapsed-stack and JSON export shape,
+// and SpanProfiler start/stop idempotence.
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/prof.hpp"
+#include "obs/trace.hpp"
+
+namespace tiv::obs {
+namespace {
+
+// --- SpanStack registry -----------------------------------------------------
+
+TEST(SpanStack, PushPopRoundTrip) {
+  SpanStack::Slot* slot = SpanStack::slot();
+  ASSERT_NE(slot, nullptr);
+  std::array<const char*, SpanStack::kMaxDepth> frames{};
+  ASSERT_EQ(SpanStack::read(*slot, frames), 0u);
+
+  SpanStack::push(*slot, "outer");
+  SpanStack::push(*slot, "inner");
+  ASSERT_EQ(SpanStack::read(*slot, frames), 2u);
+  EXPECT_STREQ(frames[0], "outer");
+  EXPECT_STREQ(frames[1], "inner");
+
+  SpanStack::pop(*slot);
+  ASSERT_EQ(SpanStack::read(*slot, frames), 1u);
+  EXPECT_STREQ(frames[0], "outer");
+  SpanStack::pop(*slot);
+  EXPECT_EQ(SpanStack::read(*slot, frames), 0u);
+}
+
+TEST(SpanStack, OverflowCountsDepthButClampsNames) {
+  SpanStack::Slot* slot = SpanStack::slot();
+  ASSERT_NE(slot, nullptr);
+  const std::size_t deep = SpanStack::kMaxDepth + 4;
+  for (std::size_t i = 0; i < deep; ++i) SpanStack::push(*slot, "f");
+  // Readers clamp to kMaxDepth; pops still balance the full nesting.
+  std::array<const char*, SpanStack::kMaxDepth> frames{};
+  EXPECT_EQ(SpanStack::read(*slot, frames), SpanStack::kMaxDepth);
+  for (std::size_t i = 0; i < deep; ++i) SpanStack::pop(*slot);
+  EXPECT_EQ(SpanStack::read(*slot, frames), 0u);
+}
+
+TEST(SpanStack, SpanPublishesOnlyWhenEnabled) {
+  SpanStack::Slot* slot = SpanStack::slot();
+  ASSERT_NE(slot, nullptr);
+  std::array<const char*, SpanStack::kMaxDepth> frames{};
+
+  ASSERT_FALSE(SpanStack::publishing());
+  {
+    Span off("quiet");
+    EXPECT_EQ(SpanStack::read(*slot, frames), 0u);
+  }
+
+  SpanStack::set_publishing(true);
+  {
+    Span on("loud");
+    ASSERT_EQ(SpanStack::read(*slot, frames), 1u);
+    EXPECT_STREQ(frames[0], "loud");
+  }
+  SpanStack::set_publishing(false);
+  EXPECT_EQ(SpanStack::read(*slot, frames), 0u);
+}
+
+// The exact race the sampler thread runs: worker threads push/pop their
+// span stacks while a reader polls every slot. All crossings are atomic
+// loads/stores, so TSan (the CI job that runs this binary) must see no
+// race, and every read must return a prefix of literals we pushed.
+TEST(SpanStack, ConcurrentReadsAreRaceFree) {
+  SpanStack::set_publishing(true);
+  std::atomic<bool> stop{false};
+  constexpr int kWorkers = 4;
+
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        Span outer("outer");
+        Span inner("inner");
+      }
+    });
+  }
+
+  std::thread reader([&stop] {
+    std::array<const char*, SpanStack::kMaxDepth> frames{};
+    std::uint64_t polls = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::size_t n = SpanStack::slots_in_use();
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t d = SpanStack::read(SpanStack::slot_at(i), frames);
+        for (std::uint32_t f = 0; f < d; ++f) {
+          // A racing read may see a stale frame, never garbage: every
+          // observed name is one of the two literals the workers push.
+          const std::string name = frames[f] == nullptr ? "" : frames[f];
+          EXPECT_TRUE(name == "outer" || name == "inner") << name;
+        }
+      }
+      ++polls;
+    }
+    EXPECT_GT(polls, 0u);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true);
+  for (auto& t : workers) t.join();
+  reader.join();
+  SpanStack::set_publishing(false);
+}
+
+// --- Profile rollup + export ------------------------------------------------
+
+Profile make_profile() {
+  Profile p;
+  p.hz = 97.0;
+  p.ticks = 10;
+  p.samples = 6;
+  p.idle_ticks = 4;
+  p.threads_seen = 1;
+  p.by_path["epoch"] = 3;
+  p.by_path["epoch;sink-commit"] = 2;
+  p.by_path["flush"] = 1;
+  return p;
+}
+
+TEST(Profile, PathStatsRollUpTotals) {
+  const auto stats = make_profile().path_stats();
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats.at("epoch").self, 3u);
+  EXPECT_EQ(stats.at("epoch").total, 5u);  // 3 self + 2 in sink-commit
+  EXPECT_EQ(stats.at("epoch;sink-commit").self, 2u);
+  EXPECT_EQ(stats.at("epoch;sink-commit").total, 2u);
+  EXPECT_EQ(stats.at("flush").self, 1u);
+  EXPECT_EQ(stats.at("flush").total, 1u);
+}
+
+TEST(Profile, AncestorWithNoDirectSamplesAppears) {
+  Profile p;
+  p.by_path["a;b;c"] = 4;
+  const auto stats = p.path_stats();
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats.at("a").self, 0u);
+  EXPECT_EQ(stats.at("a").total, 4u);
+  EXPECT_EQ(stats.at("a;b").self, 0u);
+  EXPECT_EQ(stats.at("a;b").total, 4u);
+  EXPECT_EQ(stats.at("a;b;c").self, 4u);
+}
+
+TEST(Profile, CollapsedFormatIsPathSpaceCount) {
+  std::ostringstream out;
+  make_profile().write_collapsed(out);
+  EXPECT_EQ(out.str(),
+            "epoch 3\n"
+            "epoch;sink-commit 2\n"
+            "flush 1\n");
+}
+
+TEST(Profile, JsonCarriesStatsPathsAndTree) {
+  std::ostringstream out;
+  make_profile().write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"hz\":97"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ticks\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"samples\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"idle_ticks\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"threads_seen\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"path\":\"epoch;sink-commit\""), std::string::npos);
+  EXPECT_NE(json.find("\"self\":2"), std::string::npos);
+  // Hierarchical view: sink-commit nests under epoch.
+  EXPECT_NE(json.find("\"tree\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"sink-commit\""), std::string::npos);
+}
+
+TEST(Profile, EmptyProfileStillWritesValidShape) {
+  std::ostringstream out;
+  Profile().write_json(out);
+  EXPECT_NE(out.str().find("\"paths\":[]"), std::string::npos) << out.str();
+}
+
+// --- SpanProfiler lifecycle -------------------------------------------------
+
+TEST(SpanProfiler, StartStopAreIdempotent) {
+  SpanProfiler prof({1000.0});
+  EXPECT_FALSE(prof.running());
+  prof.stop();  // stop before start: no-op
+  EXPECT_FALSE(prof.running());
+
+  prof.start();
+  prof.start();  // double start: single sampler
+  EXPECT_TRUE(prof.running());
+  EXPECT_TRUE(SpanStack::publishing());
+
+  prof.stop();
+  prof.stop();
+  EXPECT_FALSE(prof.running());
+  EXPECT_FALSE(SpanStack::publishing());
+}
+
+TEST(SpanProfiler, SamplesActiveSpans) {
+  SpanProfiler prof({2000.0});
+  prof.start();
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(80);
+  while (std::chrono::steady_clock::now() < until) {
+    Span busy("busy-phase");
+    volatile double sink = 0.0;
+    for (int i = 0; i < 2000; ++i) sink = sink + static_cast<double>(i);
+  }
+  prof.stop();
+
+  const Profile p = prof.profile();
+  EXPECT_GT(p.ticks, 0u);
+  EXPECT_GT(p.samples, 0u);
+  EXPECT_GE(p.threads_seen, 1u);
+  std::uint64_t busy = 0;
+  for (const auto& [path, count] : p.by_path) {
+    if (path.find("busy-phase") != std::string::npos) busy += count;
+  }
+  EXPECT_GT(busy, 0u);
+}
+
+TEST(SpanProfiler, RestartAccumulates) {
+  SpanProfiler prof({1000.0});
+  prof.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  prof.stop();
+  const std::uint64_t first = prof.profile().ticks;
+  EXPECT_GT(first, 0u);
+
+  prof.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  prof.stop();
+  EXPECT_GT(prof.profile().ticks, first);
+}
+
+}  // namespace
+}  // namespace tiv::obs

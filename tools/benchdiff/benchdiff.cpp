@@ -1,0 +1,375 @@
+#include "benchdiff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <ostream>
+#include <set>
+
+namespace tiv::benchdiff {
+namespace {
+
+/// Stable text form of a key-field value. Integral doubles print as
+/// integers so "n=512" matches whether the writer emitted 512 or 512.0.
+std::string value_text(const json::Value& v) {
+  switch (v.kind) {
+    case json::Value::Kind::kString:
+      return v.string;
+    case json::Value::Kind::kBool:
+      return v.boolean ? "true" : "false";
+    case json::Value::Kind::kNumber: {
+      if (std::nearbyint(v.number) == v.number &&
+          std::abs(v.number) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v.number));
+        return buf;
+      }
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.6g", v.number);
+      return buf;
+    }
+    default:
+      return "?";
+  }
+}
+
+/// "section=kernel n=512 threads=2" — the record's identity under the
+/// configured key fields (absent fields simply don't contribute).
+std::string key_of(const json::Value& record,
+                   const std::vector<std::string>& key_fields) {
+  std::string key;
+  for (const std::string& f : key_fields) {
+    const json::Value* v = record.find(f);
+    if (v == nullptr) continue;
+    if (!key.empty()) key += ' ';
+    key += f;
+    key += '=';
+    key += value_text(*v);
+  }
+  return key;
+}
+
+bool is_meta(const json::Value& record) {
+  const json::Value* s = record.find("section");
+  return s != nullptr && s->is_string() && s->string == "meta";
+}
+
+const json::Value* meta_of(const json::Value& doc) {
+  if (!doc.is_array() || doc.array.empty()) return nullptr;
+  const json::Value& first = doc.array.front();
+  return is_meta(first) ? &first : nullptr;
+}
+
+double num_field(const json::Value& record, const std::string& name,
+                 bool* present) {
+  const json::Value* v = record.find(name);
+  if (v == nullptr || !v->is_number()) {
+    *present = false;
+    return 0.0;
+  }
+  *present = true;
+  return v->number;
+}
+
+MetricRow compare(const MetricSpec& spec, const std::string& key, double base,
+                  double cur) {
+  MetricRow row;
+  row.record_key = key;
+  row.metric = spec.name;
+  row.op = spec.op;
+  row.limit = spec.limit;
+  row.base = base;
+  row.cur = cur;
+  row.ratio = base != 0.0 ? cur / base : 0.0;
+  switch (spec.op) {
+    case '<':
+      if (base <= 0.0) {
+        // A 0.000 min-of-k timing has no usable ratio; flag, don't gate.
+        row.note = "base=0 (not comparable)";
+      } else {
+        row.pass = row.ratio <= spec.limit;
+      }
+      break;
+    case '>':
+      if (base <= 0.0) {
+        row.note = "base=0 (not comparable)";
+      } else {
+        row.pass = row.ratio >= spec.limit;
+      }
+      break;
+    case '=':
+      // Relative tolerance; absolute when the baseline is exactly zero
+      // (deterministic counters that must stay zero gate with "x=0").
+      row.pass = base != 0.0 ? std::abs(row.ratio - 1.0) <= spec.limit
+                             : std::abs(cur) <= spec.limit;
+      break;
+    default:
+      row.pass = false;
+      row.note = "bad op";
+      break;
+  }
+  return row;
+}
+
+}  // namespace
+
+std::optional<MetricSpec> parse_metric_spec(std::string_view spec) {
+  const std::size_t pos = spec.find_first_of("<>=");
+  if (pos == 0 || pos == std::string_view::npos ||
+      pos + 1 >= spec.size()) {
+    return std::nullopt;
+  }
+  MetricSpec out;
+  out.name = std::string(spec.substr(0, pos));
+  out.op = spec[pos];
+  const std::string limit_text(spec.substr(pos + 1));
+  char* end = nullptr;
+  out.limit = std::strtod(limit_text.c_str(), &end);
+  if (end != limit_text.c_str() + limit_text.size() ||
+      !std::isfinite(out.limit) || out.limit < 0.0) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+std::vector<std::string> default_key_fields() {
+  return {"section",    "scenario",        "kill_point",
+          "kind",       "name",            "series",
+          "n",          "hosts",           "threads",
+          "tile_dim",   "batch",           "missing_fraction",
+          "dirty_fraction", "corrupt_fraction"};
+}
+
+std::vector<std::string> validate(const json::Value& doc) {
+  std::vector<std::string> problems;
+  if (!doc.is_array()) {
+    problems.push_back("document is not a JSON array of records");
+    return problems;
+  }
+  if (doc.array.empty()) {
+    problems.push_back("record array is empty");
+    return problems;
+  }
+  for (std::size_t i = 0; i < doc.array.size(); ++i) {
+    const json::Value& r = doc.array[i];
+    if (!r.is_object()) {
+      problems.push_back("record " + std::to_string(i) + " is not an object");
+      continue;
+    }
+    const json::Value* s = r.find("section");
+    if (s == nullptr || !s->is_string() || s->string.empty()) {
+      problems.push_back("record " + std::to_string(i) +
+                         " lacks a string \"section\"");
+    }
+  }
+  const json::Value* meta = meta_of(doc);
+  if (meta == nullptr) {
+    problems.push_back("first record is not the {\"section\":\"meta\"} envelope");
+    return problems;
+  }
+  const json::Value* ver = meta->find("schema_version");
+  if (ver == nullptr || !ver->is_number()) {
+    problems.push_back("meta record lacks a numeric schema_version");
+  } else if (static_cast<int>(ver->number) != kSchemaVersion) {
+    problems.push_back("unsupported schema_version " +
+                       value_text(*ver) + " (tool understands " +
+                       std::to_string(kSchemaVersion) + ")");
+  }
+  const json::Value* bench = meta->find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->string.empty()) {
+    problems.push_back("meta record lacks a non-empty bench name");
+  }
+  return problems;
+}
+
+DiffResult diff(const json::Value& baseline, const json::Value& current,
+                const DiffOptions& opts) {
+  DiffResult result;
+  for (const std::string& p : validate(baseline)) {
+    result.errors.push_back("baseline: " + p);
+  }
+  for (const std::string& p : validate(current)) {
+    result.errors.push_back("current: " + p);
+  }
+  if (opts.specs.empty()) {
+    result.errors.push_back("no metric specs given");
+  }
+  if (!result.errors.empty()) {
+    result.exit_code = 2;
+    return result;
+  }
+
+  const json::Value* base_meta = meta_of(baseline);
+  const json::Value* cur_meta = meta_of(current);
+  const std::string base_bench = base_meta->find("bench")->string;
+  const std::string cur_bench = cur_meta->find("bench")->string;
+  if (base_bench != cur_bench) {
+    result.errors.push_back("bench name mismatch: baseline is \"" +
+                            base_bench + "\", current is \"" + cur_bench +
+                            "\"");
+    result.exit_code = 2;
+    return result;
+  }
+
+  // Index the current run's records by key. Duplicate keys keep the first
+  // and warn — a key-field list too narrow for the bench's sweep.
+  std::map<std::string, const json::Value*> cur_by_key;
+  for (const json::Value& r : current.array) {
+    if (is_meta(r)) continue;
+    const std::string key = key_of(r, opts.key_fields);
+    if (!cur_by_key.emplace(key, &r).second) {
+      result.warnings.push_back("current: duplicate record key \"" + key +
+                                "\" (first kept)");
+    }
+  }
+
+  std::set<std::string> matched;
+  for (const json::Value& base_rec : baseline.array) {
+    if (is_meta(base_rec)) continue;
+    // A record participates if it carries at least one gated metric.
+    bool participates = false;
+    for (const MetricSpec& spec : opts.specs) {
+      bool present = false;
+      num_field(base_rec, spec.name, &present);
+      participates = participates || present;
+    }
+    if (!participates) continue;
+
+    const std::string key = key_of(base_rec, opts.key_fields);
+    const auto it = cur_by_key.find(key);
+    if (it == cur_by_key.end()) {
+      result.errors.push_back("baseline record \"" + key +
+                              "\" has no match in the current run");
+      continue;
+    }
+    matched.insert(key);
+    for (const MetricSpec& spec : opts.specs) {
+      bool base_has = false;
+      const double base_v = num_field(base_rec, spec.name, &base_has);
+      if (!base_has) continue;
+      bool cur_has = false;
+      const double cur_v = num_field(*it->second, spec.name, &cur_has);
+      if (!cur_has) {
+        result.errors.push_back("record \"" + key + "\": metric \"" +
+                                spec.name +
+                                "\" missing from the current run");
+        continue;
+      }
+      result.rows.push_back(compare(spec, key, base_v, cur_v));
+    }
+  }
+
+  if (result.rows.empty() && result.errors.empty()) {
+    result.errors.push_back(
+        "no baseline record carries any of the gated metrics");
+  }
+  // New configurations in the current run (extra thread counts on a
+  // bigger box) are fine — mention them, don't gate them.
+  for (const auto& [key, rec] : cur_by_key) {
+    (void)rec;
+    if (matched.count(key) == 0) {
+      bool participates = false;
+      for (const MetricSpec& spec : opts.specs) {
+        bool present = false;
+        num_field(*cur_by_key[key], spec.name, &present);
+        participates = participates || present;
+      }
+      if (participates) {
+        result.warnings.push_back("current record \"" + key +
+                                  "\" has no baseline (not gated)");
+      }
+    }
+  }
+
+  if (!result.errors.empty()) {
+    result.exit_code = 2;
+  } else {
+    const bool regressed = std::any_of(
+        result.rows.begin(), result.rows.end(),
+        [](const MetricRow& r) { return !r.pass; });
+    result.exit_code = regressed ? 1 : 0;
+  }
+  return result;
+}
+
+bool self_test(const json::Value& baseline, const DiffOptions& opts,
+               std::ostream& out) {
+  // Leg 1: the unmodified copy must pass (same doc, ratio 1 everywhere).
+  const DiffResult clean = diff(baseline, baseline, opts);
+  if (clean.exit_code != 0) {
+    out << "self-test FAILED: identical copy did not pass (exit "
+        << clean.exit_code << ")\n";
+    write_table(out, clean);
+    return false;
+  }
+
+  // Leg 2: a synthetic 2x regression on every gated metric must trip the
+  // gate. '<' metrics double, '>' metrics halve, '=' metrics double —
+  // each the canonical "got twice as bad" for its direction.
+  json::Value doctored = baseline;
+  std::size_t injected = 0;
+  for (json::Value& rec : doctored.array) {
+    if (is_meta(rec)) continue;
+    for (const MetricSpec& spec : opts.specs) {
+      const auto it = rec.object.find(spec.name);
+      if (it == rec.object.end() || !it->second.is_number()) continue;
+      if (it->second.number == 0.0) continue;  // 0 has no 2x
+      it->second.number *= spec.op == '>' ? 0.5 : 2.0;
+      ++injected;
+    }
+  }
+  if (injected == 0) {
+    out << "self-test FAILED: no nonzero gated metric to inject into\n";
+    return false;
+  }
+  const DiffResult doped = diff(baseline, doctored, opts);
+  if (doped.exit_code != 1) {
+    out << "self-test FAILED: injected 2x regression on " << injected
+        << " metric(s) was not flagged (exit " << doped.exit_code
+        << ") — thresholds too generous for a 2x canary?\n";
+    write_table(out, doped);
+    return false;
+  }
+  out << "self-test OK: clean copy passed, injected 2x regression on "
+      << injected << " metric(s) tripped the gate\n";
+  return true;
+}
+
+void write_table(std::ostream& out, const DiffResult& result) {
+  for (const std::string& e : result.errors) out << "ERROR: " << e << "\n";
+  for (const std::string& w : result.warnings) out << "warn: " << w << "\n";
+  if (!result.rows.empty()) {
+    std::size_t key_w = 6;
+    std::size_t met_w = 6;
+    for (const MetricRow& r : result.rows) {
+      key_w = std::max(key_w, r.record_key.size());
+      met_w = std::max(met_w, r.metric.size());
+    }
+    char line[512];
+    std::snprintf(line, sizeof(line), "%-*s  %-*s  %12s  %12s  %8s  %-8s  %s\n",
+                  static_cast<int>(key_w), "record", static_cast<int>(met_w),
+                  "metric", "baseline", "current", "ratio", "gate", "status");
+    out << line;
+    for (const MetricRow& r : result.rows) {
+      char gate[32];
+      std::snprintf(gate, sizeof(gate), "%c%g", r.op, r.limit);
+      std::snprintf(line, sizeof(line),
+                    "%-*s  %-*s  %12.4f  %12.4f  %8.3f  %-8s  %s%s%s\n",
+                    static_cast<int>(key_w), r.record_key.c_str(),
+                    static_cast<int>(met_w), r.metric.c_str(), r.base, r.cur,
+                    r.ratio, gate, r.pass ? "ok" : "REGRESSED",
+                    r.note.empty() ? "" : "  ", r.note.c_str());
+      out << line;
+    }
+  }
+  const std::size_t failed = static_cast<std::size_t>(
+      std::count_if(result.rows.begin(), result.rows.end(),
+                    [](const MetricRow& r) { return !r.pass; }));
+  out << result.rows.size() << " metric comparison(s), " << failed
+      << " regression(s), " << result.errors.size() << " error(s)\n";
+}
+
+}  // namespace tiv::benchdiff

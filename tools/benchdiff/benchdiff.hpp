@@ -1,0 +1,103 @@
+// benchdiff core — baseline diffing for the unified BenchReport JSON
+// schema (docs/OBSERVABILITY.md, "Benchmark methodology & baselines").
+//
+// A diff takes two bench record arrays (baseline from bench/baselines/,
+// current from a fresh run), refuses structural mismatches (schema
+// version, bench name), matches records by their identifying key fields
+// (section, n, threads, ...), and gates each requested metric with a
+// per-metric noise threshold:
+//
+//   spec        meaning                                  pass condition
+//   ms<1.8      lower is better, ratio limit             cur <= base * 1.8
+//   speedup>0.5 higher is better, ratio floor            cur >= base * 0.5
+//   hits=0.001  must match, relative tolerance           |cur/base - 1| <= 0.001
+//                                                        (|cur| <= tol when base == 0)
+//
+// Deterministic counters (seeded-RNG benches) gate with '=' and a tight
+// tolerance; wall-clock timings gate with '<' and a generous one — the
+// split that makes a 1-core dev-box baseline usable on a 4-core CI runner.
+//
+// Exit-code contract (the CI gate keys on it):
+//   0  all gated metrics within threshold
+//   1  at least one metric regressed past its threshold
+//   2  structural error: unparseable input, schema-version or bench-name
+//      mismatch, a gated baseline record/metric missing from the current
+//      run, or a bad metric spec
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json_mini.hpp"
+
+namespace tiv::benchdiff {
+
+/// The schema this tool understands; must equal the envelope's
+/// schema_version (BenchReport::kSchemaVersion).
+inline constexpr int kSchemaVersion = 1;
+
+/// One gated metric: name + comparison + threshold. See the table above.
+struct MetricSpec {
+  std::string name;
+  char op = '<';       ///< '<' ratio limit, '>' ratio floor, '=' tolerance
+  double limit = 0.0;
+};
+
+/// Parses "name<1.8" / "name>0.5" / "name=0.001"; nullopt on bad syntax
+/// or a non-finite/negative threshold.
+std::optional<MetricSpec> parse_metric_spec(std::string_view spec);
+
+/// Default identifying fields: every record's subset of these, rendered
+/// "field=value", is its match key. Covers all current perf benches.
+std::vector<std::string> default_key_fields();
+
+/// One (record, metric) comparison.
+struct MetricRow {
+  std::string record_key;
+  std::string metric;
+  char op = '<';
+  double limit = 0.0;
+  double base = 0.0;
+  double cur = 0.0;
+  double ratio = 0.0;  ///< cur/base; 0 when base == 0
+  bool pass = true;
+  std::string note;  ///< "base=0 (not comparable)" and similar
+};
+
+struct DiffOptions {
+  std::vector<MetricSpec> specs;
+  std::vector<std::string> key_fields = default_key_fields();
+};
+
+struct DiffResult {
+  int exit_code = 0;  ///< 0 pass, 1 regression, 2 structural
+  std::vector<MetricRow> rows;
+  std::vector<std::string> errors;    ///< structural (force exit 2)
+  std::vector<std::string> warnings;  ///< informational (never gate)
+};
+
+/// Diffs two parsed bench documents. Never throws; problems land in
+/// errors/warnings and the exit code.
+DiffResult diff(const json::Value& baseline, const json::Value& current,
+                const DiffOptions& opts);
+
+/// Validates one parsed document against the BenchReport envelope: a
+/// non-empty array of objects, first record section "meta" with the
+/// supported schema_version and a non-empty bench name, every record
+/// carrying a string "section". Returns the violations (empty = valid).
+std::vector<std::string> validate(const json::Value& doc);
+
+/// Self-test: doubles every '<'-gated metric of `baseline` into a
+/// synthetic current document and verifies the gate (a) passes the
+/// unmodified copy and (b) fails the 2x regression. Returns true when the
+/// gate behaved; explains itself on `out` either way.
+bool self_test(const json::Value& baseline, const DiffOptions& opts,
+               std::ostream& out);
+
+/// Renders the per-metric delta table plus errors/warnings.
+void write_table(std::ostream& out, const DiffResult& result);
+
+}  // namespace tiv::benchdiff

@@ -1,0 +1,271 @@
+// Minimal JSON reader for benchdiff — just enough to load the bench
+// record arrays the BenchReport envelope emits (tools/benchdiff/README in
+// docs/OBSERVABILITY.md). Recursive descent over the full value grammar,
+// numbers as double, no external dependencies. Not a general-purpose
+// parser: inputs are trusted bench output, so the error handling aims at
+// pointing a human to the byte, not at hostile documents.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tiv::benchdiff::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> parse(std::string* error) {
+    std::optional<Value> v = parse_value();
+    if (v.has_value()) {
+      skip_ws();
+      if (pos_ != text_.size()) {
+        fail("trailing content after document");
+        v.reset();
+      }
+    }
+    if (!v.has_value() && error != nullptr) *error = error_;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  std::optional<Value> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    Value v;
+    switch (text_[pos_]) {
+      case 'n':
+        if (!literal("null")) return std::nullopt;
+        return v;
+      case 't':
+        if (!literal("true")) return std::nullopt;
+        v.kind = Value::Kind::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!literal("false")) return std::nullopt;
+        v.kind = Value::Kind::kBool;
+        return v;
+      case '"':
+        return parse_string();
+      case '[':
+        return parse_array();
+      case '{':
+        return parse_object();
+      default:
+        return parse_number();
+    }
+  }
+
+  std::optional<Value> parse_number() {
+    const char* start = text_.data() + pos_;
+    char* end = nullptr;
+    const double d = std::strtod(start, &end);
+    if (end == start) {
+      fail("bad number");
+      return std::nullopt;
+    }
+    pos_ += static_cast<std::size_t>(end - start);
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  std::optional<Value> parse_string() {
+    ++pos_;  // opening quote
+    Value v;
+    v.kind = Value::Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.string.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': v.string.push_back('"'); break;
+        case '\\': v.string.push_back('\\'); break;
+        case '/': v.string.push_back('/'); break;
+        case 'b': v.string.push_back('\b'); break;
+        case 'f': v.string.push_back('\f'); break;
+        case 'n': v.string.push_back('\n'); break;
+        case 'r': v.string.push_back('\r'); break;
+        case 't': v.string.push_back('\t'); break;
+        case 'u': {
+          // BMP-only \uXXXX, encoded as UTF-8 (bench output never emits
+          // these; accepted so hand-written fixtures do not trip us).
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              fail("bad \\u escape");
+              return std::nullopt;
+            }
+          }
+          if (cp < 0x80) {
+            v.string.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            v.string.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            v.string.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+          } else {
+            v.string.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            v.string.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            v.string.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+          }
+          break;
+        }
+        default:
+          fail("bad escape");
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Value> parse_array() {
+    ++pos_;  // '['
+    Value v;
+    v.kind = Value::Kind::kArray;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      std::optional<Value> elem = parse_value();
+      if (!elem.has_value()) return std::nullopt;
+      v.array.push_back(std::move(*elem));
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!consume(']')) return std::nullopt;
+      return v;
+    }
+  }
+
+  std::optional<Value> parse_object() {
+    ++pos_;  // '{'
+    Value v;
+    v.kind = Value::Kind::kObject;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail("expected object key");
+        return std::nullopt;
+      }
+      std::optional<Value> key = parse_string();
+      if (!key.has_value()) return std::nullopt;
+      if (!consume(':')) return std::nullopt;
+      std::optional<Value> val = parse_value();
+      if (!val.has_value()) return std::nullopt;
+      v.object[key->string] = std::move(*val);
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!consume('}')) return std::nullopt;
+      return v;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace detail
+
+/// Parses one JSON document. On failure returns nullopt and, when `error`
+/// is non-null, a one-line description with the byte offset.
+inline std::optional<Value> parse(std::string_view text, std::string* error) {
+  return detail::Parser(text).parse(error);
+}
+
+}  // namespace tiv::benchdiff::json

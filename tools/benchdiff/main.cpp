@@ -1,0 +1,163 @@
+// benchdiff CLI — the CI perf gate (docs/OBSERVABILITY.md).
+//
+// Modes:
+//
+//   benchdiff --baseline=FILE --current=FILE --metric=SPEC [--metric=...]
+//             [--keys=f1,f2,...]
+//       Diff a fresh bench run against a committed baseline. SPEC is
+//       name<limit (lower-better ratio), name>limit (higher-better
+//       ratio) or name=tolerance (must match). Exit 0 pass, 1 regression,
+//       2 structural error.
+//
+//   benchdiff --validate FILE [FILE...]
+//       Check each file against the BenchReport envelope (meta record,
+//       schema_version, per-record sections). Exit 0 when all valid,
+//       2 otherwise.
+//
+//   benchdiff --self-test=FILE --metric=SPEC [--metric=...]
+//       Prove the gate works: the unmodified file must pass against
+//       itself, and a synthetic 2x regression on every gated metric must
+//       fail. Exit 0 when both hold, 1 otherwise. Run it with strict
+//       thresholds (a spec like ms<1.5): a 2x canary cannot trip a gate
+//       looser than 2x.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchdiff.hpp"
+
+namespace {
+
+using tiv::benchdiff::DiffOptions;
+using tiv::benchdiff::DiffResult;
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+std::optional<tiv::benchdiff::json::Value> load(const std::string& path) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::cerr << "benchdiff: cannot read " << path << "\n";
+    return std::nullopt;
+  }
+  std::string error;
+  auto doc = tiv::benchdiff::json::parse(text, &error);
+  if (!doc.has_value()) {
+    std::cerr << "benchdiff: " << path << ": " << error << "\n";
+  }
+  return doc;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string::size_type start = 0;
+  for (;;) {
+    const auto pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      if (start < s.size()) out.push_back(s.substr(start));
+      return out;
+    }
+    if (pos > start) out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+      << "  benchdiff --baseline=FILE --current=FILE --metric=SPEC...\n"
+      << "            [--keys=field1,field2,...]\n"
+      << "  benchdiff --validate FILE...\n"
+      << "  benchdiff --self-test=FILE --metric=SPEC...\n"
+      << "SPEC: name<limit | name>limit | name=tolerance\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  std::string self_test_path;
+  bool validate_mode = false;
+  std::vector<std::string> positional;
+  DiffOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = value_of("--baseline=");
+    } else if (arg.rfind("--current=", 0) == 0) {
+      current_path = value_of("--current=");
+    } else if (arg.rfind("--self-test=", 0) == 0) {
+      self_test_path = value_of("--self-test=");
+    } else if (arg == "--validate") {
+      validate_mode = true;
+    } else if (arg.rfind("--metric=", 0) == 0) {
+      const auto spec =
+          tiv::benchdiff::parse_metric_spec(value_of("--metric="));
+      if (!spec.has_value()) {
+        std::cerr << "benchdiff: bad metric spec: " << arg << "\n";
+        return 2;
+      }
+      opts.specs.push_back(*spec);
+    } else if (arg.rfind("--keys=", 0) == 0) {
+      opts.key_fields = split(value_of("--keys="), ',');
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "benchdiff: unknown flag " << arg << "\n";
+      return usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (validate_mode) {
+    if (positional.empty()) return usage();
+    bool all_ok = true;
+    for (const std::string& path : positional) {
+      const auto doc = load(path);
+      if (!doc.has_value()) {
+        all_ok = false;
+        continue;
+      }
+      const auto problems = tiv::benchdiff::validate(*doc);
+      if (problems.empty()) {
+        std::cout << path << ": ok\n";
+      } else {
+        all_ok = false;
+        for (const std::string& p : problems) {
+          std::cout << path << ": " << p << "\n";
+        }
+      }
+    }
+    return all_ok ? 0 : 2;
+  }
+
+  if (!self_test_path.empty()) {
+    if (opts.specs.empty()) return usage();
+    const auto doc = load(self_test_path);
+    if (!doc.has_value()) return 2;
+    return tiv::benchdiff::self_test(*doc, opts, std::cout) ? 0 : 1;
+  }
+
+  if (baseline_path.empty() || current_path.empty() || !positional.empty()) {
+    return usage();
+  }
+  const auto base = load(baseline_path);
+  const auto cur = load(current_path);
+  if (!base.has_value() || !cur.has_value()) return 2;
+  const DiffResult result = tiv::benchdiff::diff(*base, *cur, opts);
+  tiv::benchdiff::write_table(std::cout, result);
+  return result.exit_code;
+}
