@@ -43,7 +43,9 @@ int main(int argc, char** argv) {
                                        0.6, 0.7, 0.8, 0.9, 1.0};
   if (cfg.json) {
     // One record per (threshold, worst-fraction) cell: both figures' series
-    // (accuracy = Fig. 20, recall = Fig. 21) plus the alerted-edge fraction.
+    // (accuracy = Fig. 20, recall = Fig. 21) plus the alerted-edge fraction
+    // and F1, all computed by the shared scenario/score.* classification
+    // core (evaluate_alert delegates to scenario::score_ratio_alert).
     for (double t : thresholds) {
       for (double w : worst_fractions) {
         const auto m = core::evaluate_alert(ratio_samples, w, t);
@@ -53,6 +55,7 @@ int main(int argc, char** argv) {
             .field("worst_fraction", w, 2)
             .field("accuracy", m.accuracy, 4)
             .field("recall", m.recall, 4)
+            .field("f1", m.f1, 4)
             .field("alert_fraction", m.alert_fraction, 4);
       }
     }

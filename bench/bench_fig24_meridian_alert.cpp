@@ -7,10 +7,46 @@
 #include <optional>
 
 #include "bench_common.hpp"
+#include "core/alert.hpp"
 #include "core/tiv_aware.hpp"
 #include "embedding/vivaldi.hpp"
 #include "neighbor/meridian_experiment.hpp"
+#include "scenario/score.hpp"
 #include "util/flags.hpp"
+
+namespace {
+
+// Grades the ts = 0.6 alert the TIV-aware variant consults through the
+// shared scenario scorer, so this figure's quality numbers come from the
+// same classification core as bench_scenario and figs 20/21.
+void emit_alert_quality(tiv::bench::BenchReport& json,
+                        const tiv::embedding::VivaldiSystem& vivaldi,
+                        std::uint64_t seed) {
+  const auto samples =
+      tiv::core::collect_ratio_severity_samples(vivaldi, 20000, 321 ^ seed);
+  std::vector<double> ratios;
+  std::vector<double> severities;
+  ratios.reserve(samples.size());
+  severities.reserve(samples.size());
+  for (const auto& s : samples) {
+    ratios.push_back(s.ratio);
+    severities.push_back(s.severity);
+  }
+  for (const double w : {0.01, 0.05}) {
+    const auto q = tiv::scenario::score_ratio_alert(ratios, severities, w,
+                                                    /*threshold=*/0.6);
+    json.object()
+        .field("section", std::string("alert_quality"))
+        .field("worst_fraction", w, 2)
+        .field("threshold", 0.6, 1)
+        .field("precision", q.counts.precision(), 4)
+        .field("recall", q.counts.recall(), 4)
+        .field("f1", q.counts.f1(), 4)
+        .field("alert_fraction", q.alert_fraction, 4);
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tiv;
@@ -85,6 +121,7 @@ int main(int argc, char** argv) {
                  4)
           .field("restarted_queries", results[s]->restarted_queries);
     }
+    emit_alert_quality(*json, vivaldi, cfg.seed);
     return 0;
   }
 

@@ -8,10 +8,45 @@
 #include <optional>
 
 #include "bench_common.hpp"
+#include "core/alert.hpp"
 #include "core/tiv_aware.hpp"
 #include "embedding/vivaldi.hpp"
 #include "neighbor/meridian_experiment.hpp"
+#include "scenario/score.hpp"
 #include "util/flags.hpp"
+
+namespace {
+
+// Same shared-scorer quality record as bench_fig24 (see the comment
+// there): ts = 0.6 alert graded by scenario::score_ratio_alert.
+void emit_alert_quality(tiv::bench::BenchReport& json,
+                        const tiv::embedding::VivaldiSystem& vivaldi,
+                        std::uint64_t seed) {
+  const auto samples =
+      tiv::core::collect_ratio_severity_samples(vivaldi, 20000, 321 ^ seed);
+  std::vector<double> ratios;
+  std::vector<double> severities;
+  ratios.reserve(samples.size());
+  severities.reserve(samples.size());
+  for (const auto& s : samples) {
+    ratios.push_back(s.ratio);
+    severities.push_back(s.severity);
+  }
+  for (const double w : {0.01, 0.05}) {
+    const auto q = tiv::scenario::score_ratio_alert(ratios, severities, w,
+                                                    /*threshold=*/0.6);
+    json.object()
+        .field("section", std::string("alert_quality"))
+        .field("worst_fraction", w, 2)
+        .field("threshold", 0.6, 1)
+        .field("precision", q.counts.precision(), 4)
+        .field("recall", q.counts.recall(), 4)
+        .field("f1", q.counts.f1(), 4)
+        .field("alert_fraction", q.alert_fraction, 4);
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tiv;
@@ -82,6 +117,7 @@ int main(int argc, char** argv) {
           .field("fraction_optimal_found", results[s]->fraction_optimal_found,
                  4);
     }
+    emit_alert_quality(*json, vivaldi, cfg.seed);
     return 0;
   }
 

@@ -33,8 +33,17 @@
 // profile; --profile-collapsed=FILE writes the collapsed-stack form for
 // flamegraph tooling; --profile-hz=HZ picks the sampling rate (default 97).
 //
+// Scenarios (docs/OBSERVABILITY.md, "Quality observatory"):
+// --scenario=NAME replaces the random probe loop with a seeded scenario
+// trace (diurnal_drift, correlated_links, flash_crowd, partition_heal,
+// oscillation) generated over this run's delay space — one trace epoch per
+// round. --scenario=FILE replays a .tivtrace file instead (host count must
+// match --hosts). --trace-record=FILE writes whatever the monitor ingested
+// as a .tivtrace, so an interesting live run can be replayed later.
+//
 //   ./outcore_monitor [--hosts=200] [--rounds=6] [--seed=1]
 //                     [--inject-bitflips=K]
+//                     [--scenario=NAME|FILE] [--trace-record=FILE]
 //                     [--metrics-out=FILE] [--trace-out=FILE]
 //                     [--profile-out=FILE] [--profile-collapsed=FILE]
 //                     [--profile-hz=HZ]
@@ -50,6 +59,8 @@
 #include "obs/prof.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "scenario/generators.hpp"
+#include "scenario/trace.hpp"
 #include "shard/fault_injector.hpp"
 #include "stream/delay_stream.hpp"
 #include "stream/shard_stream.hpp"
@@ -93,10 +104,12 @@ int main(int argc, char** argv) {
   using delayspace::HostId;
   const Flags flags(argc, argv);
   const auto hosts = static_cast<std::uint32_t>(flags.get_int("hosts", 200));
-  const auto rounds = static_cast<int>(flags.get_int("rounds", 6));
+  auto rounds = static_cast<int>(flags.get_int("rounds", 6));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const auto inject_k =
       static_cast<std::uint32_t>(flags.get_int("inject-bitflips", 0));
+  const std::string scenario_arg = flags.get_string("scenario", "");
+  const std::string record_path = flags.get_string("trace-record", "");
   const std::string metrics_path = flags.get_string("metrics-out", "");
   const std::string trace_path = flags.get_string("trace-out", "");
   const std::string profile_path = flags.get_string("profile-out", "");
@@ -134,6 +147,51 @@ int main(int argc, char** argv) {
   est.ewma_alpha = 0.3f;
   stream::DelayStream live(space.measured, est);
   const HostId n = live.matrix().size();
+
+  // Scenario mode: the probe loop below is replaced by a seeded trace's
+  // sample stream, one epoch per round (docs/OBSERVABILITY.md).
+  std::optional<scenario::DelayTrace> scenario_trace;
+  if (!scenario_arg.empty()) {
+    if (scenario::is_scenario_family(scenario_arg)) {
+      scenario::ScenarioParams sp;
+      sp.epochs = static_cast<std::uint32_t>(std::max(rounds, 1));
+      sp.seed = seed;
+      scenario_trace =
+          scenario::generate_scenario(scenario_arg, space.measured, sp);
+    } else {
+      try {
+        scenario_trace = scenario::DelayTrace::load(scenario_arg);
+      } catch (const std::exception& e) {
+        std::cerr << "cannot load --scenario trace: " << e.what() << "\n";
+        return 1;
+      }
+      if (scenario_trace->hosts != n) {
+        std::cerr << "--scenario trace has " << scenario_trace->hosts
+                  << " hosts but this run has " << n
+                  << "; rerun with --hosts=" << scenario_trace->hosts << "\n";
+        return 1;
+      }
+    }
+    rounds = static_cast<int>(scenario_trace->epochs.size());
+    std::cout << "Scenario '" << scenario_trace->family << "' (seed "
+              << scenario_trace->seed << "): " << rounds << " epoch(s), "
+              << scenario_trace->total_samples() << " measurement(s)\n";
+  }
+
+  // --trace-record: everything the monitor ingests, written as a replayable
+  // trace. In random-probe mode the ground truth never changes, so each
+  // recorded epoch carries samples only.
+  std::optional<scenario::DelayTrace> recorded;
+  if (!record_path.empty()) {
+    if (scenario_trace) {
+      recorded = *scenario_trace;  // keep the truth stream replayable too
+    } else {
+      recorded.emplace();
+      recorded->hosts = n;
+      recorded->seed = seed;
+      recorded->family = "recorded";
+    }
+  }
 
   // Deliberately tiny budgets: a dozen input tiles and half a dozen
   // severity tiles — far below the full tile grids — so every round
@@ -188,24 +246,34 @@ int main(int argc, char** argv) {
   auto last_phases = sample_phases(tracer);
   auto last_snap = obs::MetricsRegistry::instance().snapshot();
   for (int round = 1; round <= rounds; ++round) {
-    // Re-measure ~2% of hosts' edges: noise around the true delay with a
-    // 5% outage / recovery mix (measured<->missing churn).
+    // One round of measurements: the scenario trace's epoch when replaying,
+    // otherwise ~2% of hosts' edges re-measured with noise around the true
+    // delay and a 5% outage / recovery mix (measured<->missing churn).
     std::vector<stream::DelaySample> batch;
-    const auto probes = std::max<std::uint64_t>(2, n / 50);
-    for (std::uint64_t p = 0; p < probes; ++p) {
-      const auto a = static_cast<HostId>(rng.uniform_index(n));
-      const auto b = static_cast<HostId>(rng.uniform_index(n));
-      if (a == b) continue;
-      const float truth = space.measured.at(a, b);
-      float sample;
-      if (rng.bernoulli(0.05)) {
-        sample = delayspace::DelayMatrix::kMissing;  // probe timed out
-      } else if (truth >= 0.0f) {
-        sample = truth * static_cast<float>(rng.uniform(0.85, 1.25));
-      } else {
-        sample = static_cast<float>(rng.uniform(20.0, 300.0));  // new path
+    if (scenario_trace) {
+      batch = scenario_trace->epochs[static_cast<std::size_t>(round - 1)]
+                  .samples;
+    } else {
+      const auto probes = std::max<std::uint64_t>(2, n / 50);
+      for (std::uint64_t p = 0; p < probes; ++p) {
+        const auto a = static_cast<HostId>(rng.uniform_index(n));
+        const auto b = static_cast<HostId>(rng.uniform_index(n));
+        if (a == b) continue;
+        const float truth = space.measured.at(a, b);
+        float sample;
+        if (rng.bernoulli(0.05)) {
+          sample = delayspace::DelayMatrix::kMissing;  // probe timed out
+        } else if (truth >= 0.0f) {
+          sample = truth * static_cast<float>(rng.uniform(0.85, 1.25));
+        } else {
+          sample = static_cast<float>(rng.uniform(20.0, 300.0));  // new path
+        }
+        batch.push_back({a, b, sample, static_cast<double>(round)});
       }
-      batch.push_back({a, b, sample, static_cast<double>(round)});
+      if (recorded) {
+        scenario::TraceEpoch& ep = recorded->epochs.emplace_back();
+        ep.samples = batch;
+      }
     }
     live.ingest(batch);
 
@@ -302,7 +370,11 @@ int main(int argc, char** argv) {
               << " KiB, wrote "
               << (counter("shard.input.write_bytes") +
                   counter("shard.sink.write_bytes")) / 1024
-              << " KiB | cache hit " << format_double(hit_pct, 1) << "%\n";
+              << " KiB | cache hit " << format_double(hit_pct, 1)
+              << "% | rejected " << counter("stream.samples_rejected") << " ("
+              << counter("stream.rejected_self_pair") << " self-pair, "
+              << counter("stream.rejected_stale") << " stale, "
+              << counter("stream.rejected_nonfinite") << " non-finite)\n";
     last_phases = phases;
     last_snap = snap;
     if (reporter) reporter->report_now("round-" + std::to_string(round));
@@ -358,6 +430,17 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty()) {
     std::cout << "metrics: " << rounds << " JSONL snapshot(s) written to "
               << metrics_path << "\n";
+  }
+  if (recorded) {
+    try {
+      recorded->save(record_path);
+    } catch (const std::exception& e) {
+      std::cerr << "cannot write --trace-record file: " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "trace-record: " << recorded->epochs.size()
+              << " epoch(s) written to " << record_path
+              << " (replay with --scenario=" << record_path << ")\n";
   }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/edge_sampling.hpp"
+#include "scenario/score.hpp"
 
 namespace tiv::core {
 
@@ -53,38 +54,25 @@ AlertMetrics evaluate_alert(const std::vector<EdgeRatioSample>& samples,
   m.worst_fraction = worst_fraction;
   if (samples.empty() || worst_fraction <= 0.0) return m;
 
-  // Severity cut-off for membership in the worst set.
+  // Shared classification core: the cutoff computation and the alert
+  // predicate moved verbatim into score_ratio_alert, so accuracy/recall
+  // here are bit-for-bit what the pre-delegation implementation produced.
+  std::vector<double> ratios;
   std::vector<double> severities;
+  ratios.reserve(samples.size());
   severities.reserve(samples.size());
-  for (const auto& s : samples) severities.push_back(s.severity);
-  const auto worst_count = std::min<std::size_t>(
-      samples.size(),
-      static_cast<std::size_t>(
-          std::ceil(worst_fraction * static_cast<double>(samples.size()))));
-  std::nth_element(severities.begin(),
-                   severities.end() - static_cast<std::ptrdiff_t>(worst_count),
-                   severities.end());
-  const double cutoff = severities[severities.size() - worst_count];
-
-  std::size_t alerted = 0;
-  std::size_t alerted_and_worst = 0;
-  std::size_t worst = 0;
   for (const auto& s : samples) {
-    const bool is_alert = !std::isnan(s.ratio) && s.ratio < threshold;
-    const bool is_worst = s.severity >= cutoff;
-    alerted += is_alert;
-    worst += is_worst;
-    alerted_and_worst += is_alert && is_worst;
+    ratios.push_back(s.ratio);
+    severities.push_back(s.severity);
   }
-  m.alerts = alerted;
-  m.alert_fraction =
-      static_cast<double>(alerted) / static_cast<double>(samples.size());
-  m.accuracy = alerted == 0 ? 0.0
-                            : static_cast<double>(alerted_and_worst) /
-                                  static_cast<double>(alerted);
-  m.recall = worst == 0 ? 0.0
-                        : static_cast<double>(alerted_and_worst) /
-                              static_cast<double>(worst);
+  const scenario::RatioAlertScore score =
+      scenario::score_ratio_alert(ratios, severities, worst_fraction,
+                                  threshold);
+  m.alerts = score.counts.predicted_positive();
+  m.alert_fraction = score.alert_fraction;
+  m.accuracy = score.counts.precision();
+  m.recall = score.counts.recall();
+  m.f1 = score.counts.f1();
   return m;
 }
 

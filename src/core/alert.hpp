@@ -74,10 +74,14 @@ struct AlertMetrics {
   double alert_fraction = 0.0;   ///< alerts / samples
   double accuracy = 0.0;  ///< alerted edges that are in the worst set
   double recall = 0.0;    ///< worst-set edges that are alerted
+  double f1 = 0.0;        ///< harmonic mean of accuracy and recall
 };
 
 /// Evaluates one (threshold, worst_fraction) point over the samples. The
 /// worst set is the ceil(worst_fraction * n) samples of highest severity.
+/// Delegates to scenario::score_ratio_alert — the one binary-classification
+/// implementation the scenario observatory also grades traces with — so
+/// figure numbers and scenario quality scores cannot drift.
 AlertMetrics evaluate_alert(const std::vector<EdgeRatioSample>& samples,
                             double worst_fraction, double threshold);
 

@@ -1,0 +1,285 @@
+#include "scenario/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/edge_sampling.hpp"
+#include "util/rng.hpp"
+
+namespace tiv::scenario {
+namespace {
+
+using core::sample_measured_pairs;
+
+/// Accumulates truth/sample streams. set_truth only emits an event when the
+/// edge's ground-truth value actually changes (keeps traces compact);
+/// probe always emits a measurement — targets are probed every epoch, the
+/// way a monitor keeps re-measuring a watched edge.
+class TraceBuilder {
+ public:
+  TraceBuilder(const DelayMatrix& base, const std::string& family,
+               const ScenarioParams& params)
+      : base_(base), noise_(params.measurement_noise),
+        noise_rng_(params.seed ^ 0x9d5cu) {
+    trace_.hosts = base.size();
+    trace_.seed = params.seed;
+    trace_.family = family;
+    trace_.epochs.resize(params.epochs);
+  }
+
+  float truth_value(HostId a, HostId b) const {
+    const auto it = current_.find(key(a, b));
+    if (it != current_.end()) return it->second;
+    return base_.has(a, b) ? base_.at(a, b) : DelayMatrix::kMissing;
+  }
+
+  void set_truth(std::uint32_t epoch, HostId a, HostId b, float value) {
+    if (truth_value(a, b) == value) return;
+    current_[key(a, b)] = value;
+    trace_.epochs[epoch].truth.push_back(
+        {a, b, value, static_cast<double>(epoch)});
+  }
+
+  void probe(std::uint32_t epoch, HostId a, HostId b) {
+    const float t = truth_value(a, b);
+    float measured = DelayMatrix::kMissing;  // a downed path probes as loss
+    if (t >= 0.0f) {
+      measured = t * static_cast<float>(
+                         noise_rng_.uniform(1.0 - noise_, 1.0 + noise_));
+    }
+    trace_.epochs[epoch].samples.push_back(
+        {a, b, measured, static_cast<double>(epoch)});
+  }
+
+  DelayTrace take() { return std::move(trace_); }
+
+ private:
+  static std::uint64_t key(HostId a, HostId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  const DelayMatrix& base_;
+  double noise_;
+  Rng noise_rng_;
+  DelayTrace trace_;
+  std::unordered_map<std::uint64_t, float> current_;
+};
+
+using Edge = std::pair<HostId, HostId>;
+
+/// Target edges shared by the non-topological families: distinct measured
+/// positive-delay pairs through the repo's one sampling path.
+std::vector<Edge> pick_targets(const DelayMatrix& base,
+                               const ScenarioParams& params,
+                               std::uint64_t salt) {
+  const auto measured = base.measured_pair_count();
+  auto count = static_cast<std::size_t>(
+      std::llround(params.target_fraction * static_cast<double>(measured)));
+  count = std::clamp<std::size_t>(count, 1, params.max_targets);
+  const auto sample = sample_measured_pairs(base, count, params.seed ^ salt,
+                                            {.require_positive = true});
+  if (sample.pairs.empty()) {
+    throw std::invalid_argument(
+        "generate_scenario: base matrix has no positive measured edge");
+  }
+  return sample.pairs;
+}
+
+/// Window [onset, clear) in epochs, clamped so both lie inside the trace
+/// and the window is non-empty.
+std::pair<std::uint32_t, std::uint32_t> window(const ScenarioParams& params) {
+  auto onset = static_cast<std::uint32_t>(params.onset_fraction *
+                                          static_cast<double>(params.epochs));
+  auto clear = static_cast<std::uint32_t>(params.clear_fraction *
+                                          static_cast<double>(params.epochs));
+  onset = std::min(onset, params.epochs - 1);
+  clear = std::clamp(clear, onset + 1, params.epochs);
+  return {onset, clear};
+}
+
+DelayTrace gen_diurnal(const DelayMatrix& base, const ScenarioParams& params) {
+  TraceBuilder builder(base, "diurnal_drift", params);
+  const auto targets = pick_targets(base, params, 0x01);
+  Rng rng(params.seed ^ 0xd1u);
+  std::vector<double> phase(targets.size());
+  for (auto& p : phase) p = rng.uniform(0.0, 2.0 * std::numbers::pi);
+
+  for (std::uint32_t e = 0; e < params.epochs; ++e) {
+    const double angle =
+        2.0 * std::numbers::pi * static_cast<double>(e) /
+        static_cast<double>(params.epochs);
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      const auto [a, b] = targets[t];
+      const double mult =
+          1.0 + (params.inflation - 1.0) *
+                    0.5 * (1.0 + std::sin(angle + phase[t]));
+      builder.set_truth(e, a, b,
+                        base.at(a, b) * static_cast<float>(mult));
+      builder.probe(e, a, b);
+    }
+  }
+  return builder.take();
+}
+
+DelayTrace gen_correlated(const DelayMatrix& base,
+                          const ScenarioParams& params) {
+  TraceBuilder builder(base, "correlated_links", params);
+  const HostId n = base.size();
+  Rng rng(params.seed ^ 0xc0u);
+  const auto group = std::max<std::uint32_t>(1, n / 8);
+  auto hosts = rng.sample_without_replacement(n, std::min(2 * group, n));
+  const std::size_t split = hosts.size() / 2;
+
+  // All measured positive edges crossing the two groups inflate together —
+  // that correlation (shared underlying link) is the family's point.
+  std::vector<Edge> targets;
+  for (std::size_t i = 0; i < split; ++i) {
+    for (std::size_t j = split; j < hosts.size(); ++j) {
+      const HostId a = hosts[i];
+      const HostId b = hosts[j];
+      if (base.has(a, b) && base.at(a, b) > 0.0f &&
+          targets.size() < params.max_targets) {
+        targets.emplace_back(a, b);
+      }
+    }
+  }
+  if (targets.empty()) targets = pick_targets(base, params, 0xc0);
+
+  const auto [onset, clear] = window(params);
+  for (std::uint32_t e = 0; e < params.epochs; ++e) {
+    const bool up = e >= onset && e < clear;
+    for (const auto& [a, b] : targets) {
+      const float d0 = base.at(a, b);
+      builder.set_truth(
+          e, a, b, up ? d0 * static_cast<float>(params.inflation) : d0);
+      builder.probe(e, a, b);
+    }
+  }
+  return builder.take();
+}
+
+DelayTrace gen_flash_crowd(const DelayMatrix& base,
+                           const ScenarioParams& params) {
+  TraceBuilder builder(base, "flash_crowd", params);
+  const HostId n = base.size();
+  Rng rng(params.seed ^ 0xf1u);
+  const auto hot = static_cast<HostId>(rng.uniform_index(n));
+
+  std::vector<Edge> targets;
+  for (HostId b = 0; b < n && targets.size() < params.max_targets; ++b) {
+    if (b != hot && base.has(hot, b) && base.at(hot, b) > 0.0f) {
+      targets.emplace_back(hot, b);
+    }
+  }
+  if (targets.empty()) targets = pick_targets(base, params, 0xf1);
+
+  const auto [onset, clear] = window(params);
+  for (std::uint32_t e = 0; e < params.epochs; ++e) {
+    // Geometric ramp to the peak, hold through the window, geometric decay.
+    double mult = 1.0;
+    if (e >= onset && e < clear) {
+      mult = std::min(params.inflation,
+                      std::exp2(static_cast<double>(e - onset + 1)));
+    } else if (e >= clear) {
+      mult = std::max(1.0, params.inflation /
+                               std::exp2(static_cast<double>(e - clear + 1)));
+    }
+    for (const auto& [a, b] : targets) {
+      builder.set_truth(e, a, b,
+                        base.at(a, b) * static_cast<float>(mult));
+      builder.probe(e, a, b);
+    }
+  }
+  return builder.take();
+}
+
+DelayTrace gen_partition_heal(const DelayMatrix& base,
+                              const ScenarioParams& params) {
+  TraceBuilder builder(base, "partition_heal", params);
+  const HostId n = base.size();
+  Rng rng(params.seed ^ 0x9au);
+  const auto part = std::max<std::uint32_t>(1, n / 6);
+  const auto members = rng.sample_without_replacement(n, std::min(part, n));
+  std::vector<std::uint8_t> in_part(n, 0);
+  for (const auto h : members) in_part[h] = 1;
+
+  std::vector<Edge> targets;  // every measured edge crossing the partition
+  for (HostId a = 0; a < n; ++a) {
+    for (HostId b = a + 1; b < n; ++b) {
+      if ((in_part[a] ^ in_part[b]) && base.has(a, b)) {
+        targets.emplace_back(a, b);
+      }
+    }
+  }
+  if (targets.empty()) targets = pick_targets(base, params, 0x9a);
+
+  const auto [onset, clear] = window(params);
+  for (std::uint32_t e = 0; e < params.epochs; ++e) {
+    const bool dark = e >= onset && e < clear;
+    for (const auto& [a, b] : targets) {
+      builder.set_truth(e, a, b,
+                        dark ? DelayMatrix::kMissing : base.at(a, b));
+      builder.probe(e, a, b);
+    }
+  }
+  return builder.take();
+}
+
+DelayTrace gen_oscillation(const DelayMatrix& base,
+                           const ScenarioParams& params) {
+  TraceBuilder builder(base, "oscillation", params);
+  const auto targets = pick_targets(base, params, 0x05);
+  const auto half = std::max<std::uint32_t>(1, params.oscillation_half_period);
+
+  for (std::uint32_t e = 0; e < params.epochs; ++e) {
+    const bool high = ((e / half) % 2) == 1;
+    for (const auto& [a, b] : targets) {
+      const float d0 = base.at(a, b);
+      builder.set_truth(
+          e, a, b, high ? d0 * static_cast<float>(params.inflation) : d0);
+      builder.probe(e, a, b);
+    }
+  }
+  return builder.take();
+}
+
+}  // namespace
+
+const std::vector<std::string>& scenario_families() {
+  static const std::vector<std::string> kFamilies = {
+      "diurnal_drift", "correlated_links", "flash_crowd", "partition_heal",
+      "oscillation"};
+  return kFamilies;
+}
+
+bool is_scenario_family(const std::string& name) {
+  const auto& families = scenario_families();
+  return std::find(families.begin(), families.end(), name) != families.end();
+}
+
+DelayTrace generate_scenario(const std::string& family,
+                             const DelayMatrix& base,
+                             const ScenarioParams& params) {
+  if (params.epochs == 0) {
+    throw std::invalid_argument("generate_scenario: epochs must be > 0");
+  }
+  if (params.inflation <= 1.0) {
+    throw std::invalid_argument("generate_scenario: inflation must be > 1");
+  }
+  if (base.size() < 2) {
+    throw std::invalid_argument("generate_scenario: need at least 2 hosts");
+  }
+  if (family == "diurnal_drift") return gen_diurnal(base, params);
+  if (family == "correlated_links") return gen_correlated(base, params);
+  if (family == "flash_crowd") return gen_flash_crowd(base, params);
+  if (family == "partition_heal") return gen_partition_heal(base, params);
+  if (family == "oscillation") return gen_oscillation(base, params);
+  throw std::invalid_argument("generate_scenario: unknown family \"" +
+                              family + "\"");
+}
+
+}  // namespace tiv::scenario

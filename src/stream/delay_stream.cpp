@@ -50,11 +50,21 @@ DelayStream::DelayStream(DelayMatrix initial, EstimatorParams params)
   auto& reg = obs::MetricsRegistry::instance();
   using Agg = obs::MetricsRegistry::Agg;
   IngestCounters& c = *counters_;
-  c.links.reserve(5);
+  c.links.reserve(8);
   c.links.push_back(reg.link("stream.samples_applied", Agg::kSum,
                              [&c] { return c.samples_applied.value(); }));
-  c.links.push_back(reg.link("stream.samples_rejected", Agg::kSum,
-                             [&c] { return c.samples_rejected.value(); }));
+  c.links.push_back(reg.link("stream.rejected_self_pair", Agg::kSum,
+                             [&c] { return c.rejected_self_pair.value(); }));
+  c.links.push_back(reg.link("stream.rejected_stale", Agg::kSum,
+                             [&c] { return c.rejected_stale.value(); }));
+  c.links.push_back(reg.link("stream.rejected_nonfinite", Agg::kSum,
+                             [&c] { return c.rejected_nonfinite.value(); }));
+  // Aggregate view: kSum links under one name add up, so the historical
+  // "stream.samples_rejected" metric stays exact without a fourth counter.
+  c.links.push_back(reg.link("stream.samples_rejected", Agg::kSum, [&c] {
+    return c.rejected_self_pair.value() + c.rejected_stale.value() +
+           c.rejected_nonfinite.value();
+  }));
   c.links.push_back(reg.link("stream.edges_touched", Agg::kSum,
                              [&c] { return c.edges_touched.value(); }));
   c.links.push_back(reg.link("stream.became_measured", Agg::kSum,
@@ -77,9 +87,12 @@ void DelayStream::ingest(const DelaySample& sample) {
   // would read as measured to the scalar analyzers but masked to the
   // packed view — the exact divergence the engine's bit-identity contract
   // forbids.
-  if (sample.a == sample.b || sample.a >= n || sample.b >= n ||
-      !std::isfinite(sample.delay_ms)) {
-    counters_->samples_rejected.increment();
+  if (sample.a == sample.b || sample.a >= n || sample.b >= n) {
+    counters_->rejected_self_pair.increment();
+    return;
+  }
+  if (!std::isfinite(sample.delay_ms)) {
+    counters_->rejected_nonfinite.increment();
     return;
   }
   const std::uint64_t key = edge_key(sample.a, sample.b);
@@ -89,7 +102,7 @@ void DelayStream::ingest(const DelaySample& sample) {
   auto [ts_it, first_sample] = last_timestamp_.try_emplace(key, sample.timestamp);
   if (!first_sample) {
     if (sample.timestamp < ts_it->second) {
-      counters_->samples_rejected.increment();
+      counters_->rejected_stale.increment();
       return;
     }
     ts_it->second = sample.timestamp;
@@ -133,7 +146,9 @@ EpochStats DelayStream::cumulative_stats() const {
   EpochStats s;
   const IngestCounters& c = *counters_;
   s.samples_applied = c.samples_applied.value();
-  s.samples_rejected = c.samples_rejected.value();
+  s.rejected_self_pair = c.rejected_self_pair.value();
+  s.rejected_stale = c.rejected_stale.value();
+  s.rejected_nonfinite = c.rejected_nonfinite.value();
   s.edges_touched = c.edges_touched.value();
   s.became_measured = c.became_measured.value();
   s.became_missing = c.became_missing.value();
@@ -147,7 +162,11 @@ Epoch DelayStream::commit_epoch() {
   // commit — the counters are the single source of truth.
   const EpochStats cur = cumulative_stats();
   out.stats.samples_applied = cur.samples_applied - committed_base_.samples_applied;
-  out.stats.samples_rejected = cur.samples_rejected - committed_base_.samples_rejected;
+  out.stats.rejected_self_pair =
+      cur.rejected_self_pair - committed_base_.rejected_self_pair;
+  out.stats.rejected_stale = cur.rejected_stale - committed_base_.rejected_stale;
+  out.stats.rejected_nonfinite =
+      cur.rejected_nonfinite - committed_base_.rejected_nonfinite;
   out.stats.edges_touched = cur.edges_touched - committed_base_.edges_touched;
   out.stats.became_measured = cur.became_measured - committed_base_.became_measured;
   out.stats.became_missing = cur.became_missing - committed_base_.became_missing;

@@ -82,12 +82,22 @@ class EdgeEstimator {
 /// count is kept exactly once (docs/OBSERVABILITY.md). Counts read zero
 /// under TIV_OBS_DISABLE.
 struct EpochStats {
-  std::size_t samples_applied = 0;   ///< accepted into an estimator
-  std::size_t samples_rejected = 0;  ///< self-pairs and stale timestamps
-  std::size_t edges_touched = 0;     ///< matrix-changing updates (an edge
-                                     ///< re-updated in-epoch counts each time)
-  std::size_t became_measured = 0;   ///< missing -> measured transitions
-  std::size_t became_missing = 0;    ///< measured -> missing transitions
+  std::size_t samples_applied = 0;  ///< accepted into an estimator
+  /// Rejection breakdown — which guard fired. The registry keeps the
+  /// aggregate "stream.samples_rejected" as a second link over the same
+  /// three counters, so dashboards keyed on the old name keep working.
+  std::size_t rejected_self_pair = 0;  ///< a == b or an out-of-range host id
+  std::size_t rejected_stale = 0;      ///< older than the edge's newest sample
+  std::size_t rejected_nonfinite = 0;  ///< NaN / +-inf delay (producer bug)
+  std::size_t edges_touched = 0;       ///< matrix-changing updates (an edge
+                                       ///< re-updated in-epoch counts each time)
+  std::size_t became_measured = 0;     ///< missing -> measured transitions
+  std::size_t became_missing = 0;      ///< measured -> missing transitions
+
+  /// Aggregate view over the rejection breakdown.
+  std::size_t samples_rejected() const {
+    return rejected_self_pair + rejected_stale + rejected_nonfinite;
+  }
 };
 
 /// A sealed epoch: the sorted distinct hosts whose matrix rows changed,
@@ -141,7 +151,9 @@ class DelayStream {
   /// registry links keep probing stable addresses.
   struct IngestCounters {
     obs::Counter samples_applied;
-    obs::Counter samples_rejected;
+    obs::Counter rejected_self_pair;
+    obs::Counter rejected_stale;
+    obs::Counter rejected_nonfinite;
     obs::Counter edges_touched;
     obs::Counter became_measured;
     obs::Counter became_missing;

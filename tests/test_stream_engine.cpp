@@ -98,7 +98,10 @@ TEST(DelayStream, RejectsNonFiniteSamples) {
   stream.ingest({0, 1, std::numeric_limits<float>::infinity(), 2.0});
   stream.ingest({0, 1, -std::numeric_limits<float>::infinity(), 3.0});
   const Epoch ep = stream.commit_epoch();
-  EXPECT_EQ(ep.stats.samples_rejected, 3u);
+  EXPECT_EQ(ep.stats.rejected_nonfinite, 3u);
+  EXPECT_EQ(ep.stats.rejected_self_pair, 0u);
+  EXPECT_EQ(ep.stats.rejected_stale, 0u);
+  EXPECT_EQ(ep.stats.samples_rejected(), 3u);
   EXPECT_FLOAT_EQ(stream.matrix().at(0, 1), 50.0f);  // untouched
   // Rejected samples must not advance the edge's timestamp watermark.
   stream.ingest({0, 1, 60.0f, 0.5});
@@ -112,7 +115,10 @@ TEST(DelayStream, RejectsSelfPairsAndStaleTimestamps) {
   stream.ingest({0, 1, 99.0f, 4.0});  // older than the applied sample
   stream.ingest({0, 1, 20.0f, 5.0});  // equal timestamp is accepted
   const Epoch ep = stream.commit_epoch();
-  EXPECT_EQ(ep.stats.samples_rejected, 2u);
+  EXPECT_EQ(ep.stats.rejected_self_pair, 1u);
+  EXPECT_EQ(ep.stats.rejected_stale, 1u);
+  EXPECT_EQ(ep.stats.rejected_nonfinite, 0u);
+  EXPECT_EQ(ep.stats.samples_rejected(), 2u);
   EXPECT_EQ(ep.stats.samples_applied, 2u);
   EXPECT_FLOAT_EQ(stream.matrix().at(0, 1), 20.0f);
 }

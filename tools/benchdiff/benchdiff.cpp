@@ -140,7 +140,8 @@ std::vector<std::string> default_key_fields() {
           "kind",       "name",            "series",
           "n",          "hosts",           "threads",
           "tile_dim",   "batch",           "missing_fraction",
-          "dirty_fraction", "corrupt_fraction"};
+          "dirty_fraction", "corrupt_fraction",
+          "threshold",  "worst_fraction"};
 }
 
 std::vector<std::string> validate(const json::Value& doc) {
